@@ -1,0 +1,358 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation section, plus micro-benchmarks of the simulator's hot
+// machinery. Each experiment benchmark reports the headline simulated
+// quantity as a custom metric so `go test -bench` output documents the
+// reproduced result alongside host cost.
+package snap1_test
+
+import (
+	"testing"
+
+	"snap1/internal/experiments"
+	"snap1/internal/isa"
+	"snap1/internal/kbgen"
+	"snap1/internal/machine"
+	"snap1/internal/nlu"
+	"snap1/internal/rules"
+	"snap1/internal/semnet"
+)
+
+// BenchmarkTableIV regenerates the MUC-4 sentence parse-time table.
+func BenchmarkTableIV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TableIV()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var total float64
+			for _, r := range res.Rows {
+				total += (r.PPTime + r.MB9K).Milliseconds()
+			}
+			b.ReportMetric(total/float64(len(res.Rows)), "sim-ms/sentence")
+		}
+	}
+}
+
+// BenchmarkFig6Profile regenerates the instruction frequency/time profile.
+func BenchmarkFig6Profile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			_, tf := res.PropagateShares()
+			b.ReportMetric(tf*100, "propagate-time-%")
+		}
+	}
+}
+
+// BenchmarkFig8Traffic regenerates the per-barrier message distribution.
+func BenchmarkFig8Traffic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Mean, "msgs/barrier")
+			b.ReportMetric(float64(res.Max), "burst-max")
+		}
+	}
+}
+
+// BenchmarkFig15Inheritance regenerates the SNAP-1 vs CM-2 scalability
+// comparison.
+func BenchmarkFig15Inheritance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig15(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range res.Rows {
+				if r.Nodes == 6400 {
+					b.ReportMetric(float64(r.CM2)/float64(r.SNAP), "cm2/snap@6.4K")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig16AlphaSpeedup regenerates the α-parallelism speedup sweep.
+func BenchmarkFig16AlphaSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig16()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			last := res.Rows[len(res.Rows)-1]
+			b.ReportMetric(last.Speedup[1000], "speedup-a1000@72PE")
+			b.ReportMetric(last.Speedup[100], "speedup-a100@72PE")
+		}
+	}
+}
+
+// BenchmarkFig17BetaSpeedup regenerates the β-overlap saturation sweep.
+func BenchmarkFig17BetaSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig17()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range res.Rows {
+				if r.Beta == 16 {
+					b.ReportMetric(r.Speedup, "speedup@beta16")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig18ClusterSweep regenerates the per-class time vs clusters
+// profile.
+func BenchmarkFig18ClusterSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig18(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.PropagateRatio(), "prop-time-1v16")
+		}
+	}
+}
+
+// BenchmarkFig19KBSweep regenerates the per-class time vs KB-size profile.
+func BenchmarkFig19KBSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig19(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Rows[len(res.Rows)-1].PropFrac*100, "propagate-%@16K")
+		}
+	}
+}
+
+// BenchmarkFig20PropCount regenerates the operation-count growth study.
+func BenchmarkFig20PropCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig20(nil, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Rows[len(res.Rows)-1].Propagates), "propagates@16K")
+		}
+	}
+}
+
+// BenchmarkFig21Overheads regenerates the parallel-overhead component
+// breakdown.
+func BenchmarkFig21Overheads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig21(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			last := res.Rows[len(res.Rows)-1]
+			b.ReportMetric(last.Overhead.Collection.Microseconds(), "collect-us@32cl")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Micro-benchmarks of the simulator machinery itself.
+// ---------------------------------------------------------------------
+
+// BenchmarkStoreBooleanSweep measures one AND-MARKER sweep over a full
+// 1024-node cluster partition.
+func BenchmarkStoreBooleanSweep(b *testing.B) {
+	s := semnet.NewStore(1024)
+	for i := 0; i < 1024; i++ {
+		if _, err := s.AddNode(semnet.NodeID(i), 0, semnet.FuncNop); err != nil {
+			b.Fatal(err)
+		}
+		if i%3 == 0 {
+			s.Set(i, 0)
+		}
+		if i%2 == 0 {
+			s.Set(i, 1)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.And(0, 1, 2, semnet.FuncNop)
+	}
+}
+
+// BenchmarkPropagationLockstep measures a full MIMD propagation phase
+// (α=256, depth 10) on the deterministic engine.
+func BenchmarkPropagationLockstep(b *testing.B) {
+	benchPropagation(b, true)
+}
+
+// BenchmarkPropagationConcurrent measures the same phase on the
+// goroutine-per-cluster engine.
+func BenchmarkPropagationConcurrent(b *testing.B) {
+	benchPropagation(b, false)
+}
+
+func benchPropagation(b *testing.B, det bool) {
+	w := kbgen.Chains(1, 256, 10, 1)
+	w.KB.Preprocess()
+	cfg := machine.PaperConfig()
+	cfg.Deterministic = det
+	m, err := machine.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.LoadKB(w.KB); err != nil {
+		b.Fatal(err)
+	}
+	p := isa.NewProgram()
+	p.SearchColor(w.Seeds[0], 0, 0)
+	p.Propagate(0, 1, rules.Path(w.Rel), semnet.FuncAdd)
+	p.Barrier()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ClearMarkers()
+		if _, err := m.Run(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSentenceParse measures one full two-stage sentence parse on the
+// evaluation configuration.
+func BenchmarkSentenceParse(b *testing.B) {
+	g, err := kbgen.Generate(kbgen.Params{Nodes: 5000, Seed: 42, WithDomain: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.KB.Preprocess()
+	cfg := machine.PaperConfig()
+	cfg.Deterministic = true
+	m, err := machine.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.LoadKB(g.KB); err != nil {
+		b.Fatal(err)
+	}
+	p := nlu.NewParser(m, g)
+	s := g.Domain.Sentences[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := p.Parse(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Winner != s.Expect {
+			b.Fatalf("parsed %q", res.Winner)
+		}
+	}
+}
+
+// BenchmarkKBGenerate measures synthetic knowledge-base generation.
+func BenchmarkKBGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := kbgen.Generate(kbgen.Params{Nodes: 8000, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoadKB measures partitioning and table download of a 16K-node
+// network into the full 32-cluster array.
+func BenchmarkLoadKB(b *testing.B) {
+	g, err := kbgen.Generate(kbgen.Params{Nodes: 16000, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.KB.Preprocess()
+	cfg := machine.DefaultConfig()
+	if need := (g.KB.NumNodes() + cfg.Clusters - 1) / cfg.Clusters; need > cfg.NodesPerCluster {
+		cfg.NodesPerCluster = need
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := machine.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.LoadKB(g.KB); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablation and extension benchmarks.
+// ---------------------------------------------------------------------
+
+// BenchmarkAblationPartition compares partitioning functions on the parse
+// workload (the design choice behind semantically-based allocation).
+func BenchmarkAblationPartition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationPartition()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range res.Rows {
+				if r.Name == "semantic" {
+					b.ReportMetric(r.Cut*100, "semantic-cut-%")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkAblationMUs sweeps marker units per cluster (the four-vs-five
+// PE cluster design choice).
+func BenchmarkAblationMUs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationMUs()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Rows[len(res.Rows)-1].Speedup, "speedup@4MU")
+		}
+	}
+}
+
+// BenchmarkSpeechDecode runs the PASS-style lattice understanding study.
+func BenchmarkSpeechDecode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.SpeechStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.MeanBeta, "mean-beta")
+		}
+	}
+}
+
+// BenchmarkScaleStudy grows the array with the knowledge base toward the
+// paper's million-concept goal.
+func BenchmarkScaleStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Scale(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			last := res.Rows[len(res.Rows)-1]
+			b.ReportMetric(last.ParseTime.Milliseconds(), "parse-sim-ms@256K")
+		}
+	}
+}

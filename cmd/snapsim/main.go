@@ -1,0 +1,137 @@
+// Command snapsim runs SNAP assembly programs on the simulated SNAP-1
+// array.
+//
+// Usage:
+//
+//	snapsim -kb network.kb program.snap
+//	snapsim -gen 4000 -domain program.snap
+//
+// The knowledge base comes either from a text network file (-kb, see
+// internal/kbfile) or a generated synthetic network (-gen N, optionally
+// with the newswire micro-domain embedded via -domain). The program is
+// SNAP assembly (see internal/isa's Assembler): one instruction per line,
+// key=value operands, names resolved against the knowledge base.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"snap1/internal/isa"
+	"snap1/internal/kbfile"
+	"snap1/internal/kbgen"
+	"snap1/internal/machine"
+	"snap1/internal/partition"
+	"snap1/internal/semnet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("snapsim: ")
+
+	kbPath := flag.String("kb", "", "knowledge-base file (kbfile format)")
+	gen := flag.Int("gen", 0, "generate a synthetic knowledge base of N nodes instead")
+	domain := flag.Bool("domain", false, "embed the newswire micro-domain in the generated network")
+	seed := flag.Int64("seed", 42, "generation seed")
+	clusters := flag.Int("clusters", 16, "cluster count")
+	mus := flag.Int("mus", 2, "marker units per cluster")
+	part := flag.String("partition", "semantic", "partitioning: sequential, round-robin, or semantic")
+	det := flag.Bool("det", true, "use the deterministic measurement engine")
+	verbose := flag.Bool("v", false, "print the instruction profile")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		log.Fatal("usage: snapsim [-kb file | -gen N] program.snap")
+	}
+
+	kb, err := loadKB(*kbPath, *gen, *domain, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kb.Preprocess()
+
+	progFile, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer progFile.Close()
+	prog, err := isa.NewAssembler(kb).Assemble(progFile)
+	if err != nil {
+		log.Fatalf("%s: %v", flag.Arg(0), err)
+	}
+
+	partFn, err := partition.ByName(*part)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := machine.DefaultConfig()
+	cfg.Clusters = *clusters
+	cfg.MUsPerCluster = *mus
+	cfg.ExtraMUClusters = 0
+	cfg.Partition = partFn
+	cfg.Deterministic = *det
+	if need := (kb.NumNodes() + *clusters - 1) / *clusters; need > cfg.NodesPerCluster {
+		cfg.NodesPerCluster = need
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.LoadKB(kb); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := m.Run(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("ran %d instructions on %d clusters (%d PEs) over %d nodes in %v simulated\n",
+		prog.Len(), cfg.Clusters, cfg.PEs(), kb.NumNodes(), res.Time)
+	for i, coll := range res.Collections {
+		fmt.Printf("collection %d (%v, instruction %d): %d items\n",
+			i, coll.Op, coll.Instr, len(coll.Items))
+		for _, it := range coll.Items {
+			switch coll.Op {
+			case isa.OpCollectRelation:
+				fmt.Printf("  %s -%s(%g)-> %s\n",
+					kb.Name(kb.Canonical(it.Node)), kb.RelationName(it.Rel),
+					it.Weight, kb.Name(kb.Canonical(it.To)))
+			case isa.OpCollectColor:
+				fmt.Printf("  %s : %s\n",
+					kb.Name(kb.Canonical(it.Node)), kb.ColorName(it.Color))
+			default:
+				fmt.Printf("  %s = %g (origin %s)\n",
+					kb.Name(kb.Canonical(it.Node)), it.Value,
+					kb.Name(kb.Canonical(it.Origin)))
+			}
+		}
+	}
+	if *verbose {
+		fmt.Print(res.Profile)
+	}
+}
+
+func loadKB(path string, gen int, domain bool, seed int64) (*semnet.KB, error) {
+	switch {
+	case path != "" && gen != 0:
+		return nil, fmt.Errorf("-kb and -gen are mutually exclusive")
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return kbfile.Parse(f)
+	case gen != 0:
+		g, err := kbgen.Generate(kbgen.Params{Nodes: gen, Seed: seed, WithDomain: domain})
+		if err != nil {
+			return nil, err
+		}
+		return g.KB, nil
+	default:
+		return nil, fmt.Errorf("need -kb file or -gen N")
+	}
+}

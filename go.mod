@@ -1,0 +1,3 @@
+module snap1
+
+go 1.22

@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"snap1/internal/machine"
+	"snap1/internal/partition"
+	"snap1/internal/speech"
+	"snap1/internal/timing"
+)
+
+// The paper's Section II describes an "integrated measurement system for
+// evaluating marker-propagation algorithms, partitioning functions,
+// communication traffic, and synchronization protocols", and motivates
+// two design choices the ablations below quantify: the semantically-based
+// partitioning option and the 2-3 marker units per cluster ("a good
+// balance between PE utilization and communication overhead").
+
+// PartitionRow is one partitioning strategy's cost on the parse workload.
+type PartitionRow struct {
+	Name     string
+	Cut      float64 // fraction of links crossing clusters
+	Messages int64   // inter-cluster marker activations
+	Time     timing.Time
+}
+
+// PartitionResult compares the three partitioning functions.
+type PartitionResult struct {
+	Rows []PartitionRow
+}
+
+// AblationPartition parses the sentence batch under each partitioning
+// strategy on the 16-cluster array.
+func AblationPartition() (*PartitionResult, error) {
+	out := &PartitionResult{}
+	for _, s := range []struct {
+		name string
+		f    partition.Func
+	}{
+		{"sequential", partition.Sequential},
+		{"round-robin", partition.RoundRobin},
+		{"semantic", partition.Semantic},
+	} {
+		cfg := machine.PaperConfig()
+		cfg.Partition = s.f
+		m, g, err := nluSetup(4000, 16, cfg)
+		if err != nil {
+			return nil, err
+		}
+		assign, err := s.f(g.KB, 16, 1024*1024)
+		if err != nil {
+			return nil, err
+		}
+		p := newParser(m, g)
+		prof, _, err := parseBatch(p, g, 1)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, PartitionRow{
+			Name:     s.name,
+			Cut:      partition.CutRatio(g.KB, assign),
+			Messages: prof.PropMessages,
+			Time:     prof.Elapsed,
+		})
+	}
+	return out, nil
+}
+
+// String renders the comparison.
+func (r *PartitionResult) String() string {
+	header := []string{"Partition", "Link cut", "ICN messages", "Parse batch time"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Name,
+			fmt.Sprintf("%.1f%%", row.Cut*100),
+			fmt.Sprint(row.Messages),
+			row.Time.String(),
+		})
+	}
+	return "Ablation: partitioning function vs communication traffic (16 clusters)\n" +
+		table(header, rows)
+}
+
+// MURow is one marker-unit count's parse cost.
+type MURow struct {
+	MUsPerCluster int
+	PEs           int
+	Time          timing.Time
+	Speedup       float64 // vs one MU per cluster
+}
+
+// MUResult sweeps marker units per cluster.
+type MUResult struct {
+	Rows []MURow
+}
+
+// AblationMUs parses the sentence batch with 1..4 marker units per
+// cluster at 16 clusters — the tradeoff behind the prototype's
+// four-to-five-PE cluster design.
+func AblationMUs() (*MUResult, error) {
+	out := &MUResult{}
+	var base timing.Time
+	for mus := 1; mus <= 4; mus++ {
+		cfg := machine.PaperConfig()
+		cfg.MUsPerCluster = mus
+		cfg.ExtraMUClusters = 0
+		m, g, err := nluSetup(4000, 16, cfg)
+		if err != nil {
+			return nil, err
+		}
+		p := newParser(m, g)
+		prof, _, err := parseBatch(p, g, 1)
+		if err != nil {
+			return nil, err
+		}
+		if mus == 1 {
+			base = prof.Elapsed
+		}
+		out.Rows = append(out.Rows, MURow{
+			MUsPerCluster: mus,
+			PEs:           cfg.PEs(),
+			Time:          prof.Elapsed,
+			Speedup:       float64(base) / float64(prof.Elapsed),
+		})
+	}
+	return out, nil
+}
+
+// String renders the sweep.
+func (r *MUResult) String() string {
+	header := []string{"MUs/cluster", "PEs", "Parse batch time", "Speedup vs 1 MU"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprint(row.MUsPerCluster),
+			fmt.Sprint(row.PEs),
+			row.Time.String(),
+			fmt.Sprintf("%.2fx", row.Speedup),
+		})
+	}
+	return "Ablation: marker units per cluster (16 clusters)\n" + table(header, rows)
+}
+
+// SpeechRow is one lattice's decode outcome for the PASS-style workload.
+type SpeechRow struct {
+	Truth      string
+	Decoded    string
+	Winner     string
+	SlotsRight int
+	Slots      int
+	MeanBeta   float64
+	Time       timing.Time
+}
+
+// SpeechResult summarizes the speech-understanding workload: the measured
+// β-overlap should land in the paper's PASS range (β_min 2.8, β_max 6).
+type SpeechResult struct {
+	Rows     []SpeechRow
+	MeanBeta float64
+}
+
+// SpeechStudy decodes noisy lattices for three ground-truth utterances on
+// the evaluation configuration.
+func SpeechStudy() (*SpeechResult, error) {
+	m, g, err := nluSetup(4000, 16, machine.PaperConfig())
+	if err != nil {
+		return nil, err
+	}
+	dec := speech.NewDecoder(m, g)
+	truths := [][]string{
+		{"guerrillas", "bombed", "embassy"},
+		{"police", "killed", "terrorists"},
+		{"terrorists", "attacked", "mayor"},
+	}
+	out := &SpeechResult{}
+	var betaSum float64
+	for i, truth := range truths {
+		lat, err := speech.Confuse(g, truth, kbSeed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		res, err := dec.Decode(lat)
+		if err != nil {
+			return nil, err
+		}
+		right := 0
+		for j := range truth {
+			if res.Transcript[j] == truth[j] {
+				right++
+			}
+		}
+		out.Rows = append(out.Rows, SpeechRow{
+			Truth:      strings.Join(truth, " "),
+			Decoded:    strings.Join(res.Transcript, " "),
+			Winner:     res.Winner,
+			SlotsRight: right,
+			Slots:      len(truth),
+			MeanBeta:   res.MeanBeta,
+			Time:       res.Time,
+		})
+		betaSum += res.MeanBeta
+	}
+	out.MeanBeta = betaSum / float64(len(truths))
+	return out, nil
+}
+
+// String renders the study.
+func (r *SpeechResult) String() string {
+	header := []string{"Truth", "Decoded", "Meaning", "Correct", "β", "Time"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Truth,
+			row.Decoded,
+			row.Winner,
+			fmt.Sprintf("%d/%d", row.SlotsRight, row.Slots),
+			fmt.Sprintf("%.1f", row.MeanBeta),
+			row.Time.String(),
+		})
+	}
+	return fmt.Sprintf("PASS-style speech understanding (mean β %.1f; paper's PASS: 2.8-6)\n",
+		r.MeanBeta) + table(header, rows)
+}

@@ -1,0 +1,356 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"snap1/internal/isa"
+	"snap1/internal/trace"
+)
+
+// These tests assert the SHAPES the paper reports — who wins, what grows,
+// where curves flatten — not absolute prototype numbers.
+
+func TestTableIVShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full table regeneration")
+	}
+	res, err := TableIV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		// The phrasal parser is serial and independent of KB size; the
+		// memory-based parser slows as knowledge is added.
+		if r.MB9K <= r.MB5K {
+			t.Errorf("%s: M.B. time must grow with the knowledge base (5K %v, 9K %v)",
+				r.ID, r.MB5K, r.MB9K)
+		}
+		// Paper: 400-900 SNAP instructions for most sentences.
+		if r.Instr < 200 || r.Instr > 1200 {
+			t.Errorf("%s: %d instructions, want the paper's few-hundred range", r.ID, r.Instr)
+		}
+		// "Real-time performance": total well under a second.
+		if (r.PPTime + r.MB9K).Seconds() > 1 {
+			t.Errorf("%s: not real-time: %v", r.ID, r.PPTime+r.MB9K)
+		}
+	}
+	// Overall time roughly proportional to sentence length: the longest
+	// sentence must cost more than the shortest.
+	var shortest, longest TableIVRow
+	shortest, longest = res.Rows[0], res.Rows[0]
+	for _, r := range res.Rows {
+		if r.Words < shortest.Words {
+			shortest = r
+		}
+		if r.Words > longest.Words {
+			longest = r
+		}
+	}
+	if longest.PPTime+longest.MB9K <= shortest.PPTime+shortest.MB9K {
+		t.Errorf("longest sentence (%d words, %v) not slower than shortest (%d words, %v)",
+			longest.Words, longest.PPTime+longest.MB9K, shortest.Words, shortest.PPTime+shortest.MB9K)
+	}
+	if !strings.Contains(res.String(), "Table IV") {
+		t.Error("rendering")
+	}
+}
+
+func TestFig6PropagateDominatesTime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full profile run")
+	}
+	res, err := Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	countFrac, timeFrac := res.PropagateShares()
+	// Paper: 17.0% of instructions, 64.5% of time.
+	if countFrac < 0.08 || countFrac > 0.30 {
+		t.Errorf("propagate count share = %.1f%%, paper ≈17%%", countFrac*100)
+	}
+	if timeFrac < 0.45 || timeFrac > 0.85 {
+		t.Errorf("propagate time share = %.1f%%, paper ≈64.5%%", timeFrac*100)
+	}
+	if timeFrac < 2*countFrac {
+		t.Errorf("propagation must dominate time (%.1f%%) far beyond its frequency (%.1f%%)",
+			timeFrac*100, countFrac*100)
+	}
+	// Data movement + bitwise ops dominate the COUNT (the processor-
+	// selection rationale).
+	var boolSC float64
+	for _, r := range res.Rows {
+		if r.Group == isa.GroupBoolean || r.Group == isa.GroupSetClear {
+			boolSC += r.CountFrac
+		}
+	}
+	if boolSC < 0.5 {
+		t.Errorf("boolean+set/clear count share = %.1f%%, want the majority", boolSC*100)
+	}
+}
+
+func TestFig8BurstyTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full parse run")
+	}
+	res, err := Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) < 10 {
+		t.Fatalf("only %d sync points", len(res.Series))
+	}
+	if res.Bursts == 0 {
+		t.Error("parsing must generate bursts of marker activation")
+	}
+	// Burstiness: the peak must tower over the mean, and quiet barriers
+	// must exist (the paper's plot swings between ~0 and >30).
+	if float64(res.Max) < 3*res.Mean {
+		t.Errorf("max %d not bursty vs mean %.1f", res.Max, res.Mean)
+	}
+	quiet := 0
+	for _, v := range res.Series {
+		if float64(v) < res.Mean/2 {
+			quiet++
+		}
+	}
+	if quiet == 0 {
+		t.Error("no quiet synchronization points")
+	}
+}
+
+func TestFig15SNAPWinsWithSteeperSlope(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	res, err := Fig15(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r.SNAP >= r.CM2 {
+			t.Errorf("%d nodes: SNAP (%v) must beat the CM-2 model (%v) in range", r.Nodes, r.SNAP, r.CM2)
+		}
+	}
+	// Around the paper's 6.4K point the gap is about an order of
+	// magnitude.
+	for _, r := range res.Rows {
+		if r.Nodes == 6400 {
+			ratio := float64(r.CM2) / float64(r.SNAP)
+			if ratio < 5 || ratio > 30 {
+				t.Errorf("6.4K ratio = %.1fx, paper ≈10x", ratio)
+			}
+		}
+	}
+	// SNAP's slope is steeper: its relative growth across the sweep
+	// exceeds the CM-2 model's.
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	snapGrowth := float64(last.SNAP) / float64(first.SNAP)
+	cm2Growth := float64(last.CM2) / float64(first.CM2)
+	if snapGrowth <= cm2Growth {
+		t.Errorf("SNAP growth %.1fx must exceed CM-2 growth %.1fx", snapGrowth, cm2Growth)
+	}
+	// "The lines will cross when larger knowledge bases are used" —
+	// beyond the 32K prototype capacity.
+	if res.CrossoverNodes != 0 && res.CrossoverNodes < 32768 {
+		t.Errorf("crossover at %d nodes, inside prototype capacity", res.CrossoverNodes)
+	}
+	if res.CrossoverNodes == 0 {
+		t.Error("no extrapolated crossover found")
+	}
+}
+
+func TestFig16AlphaSpeedupShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	res, err := Fig16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Rows[len(res.Rows)-1]
+	if last.PEs != 72 {
+		t.Fatalf("final config has %d PEs, want 72", last.PEs)
+	}
+	// More α, more speedup at full configuration.
+	if !(last.Speedup[1000] >= last.Speedup[100] && last.Speedup[100] > last.Speedup[10]) {
+		t.Errorf("α ordering violated at 72 PEs: %v", last.Speedup)
+	}
+	// Paper: ~20-fold around α=100; typical α gives 18-33x at 72 PEs.
+	if s := last.Speedup[100]; s < 15 || s > 40 {
+		t.Errorf("α=100 speedup = %.1fx at 72 PEs, paper ≈20x", s)
+	}
+	if s := last.Speedup[1000]; s < 25 {
+		t.Errorf("α=1000 speedup = %.1fx, want near-linear scaling", s)
+	}
+	// α=10 saturates early: its speedup at 72 PEs is far below α=1000's.
+	if last.Speedup[10] > 0.8*last.Speedup[1000] {
+		t.Errorf("α=10 did not saturate: %.1fx vs %.1fx", last.Speedup[10], last.Speedup[1000])
+	}
+	// Speedup for α=1000 is monotone in machine size.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Speedup[1000] < res.Rows[i-1].Speedup[1000]*0.95 {
+			t.Errorf("α=1000 speedup regressed at %d PEs", res.Rows[i].PEs)
+		}
+	}
+}
+
+func TestFig17BetaSaturatesAbove16(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	res, err := Fig17()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byBeta := make(map[int]float64)
+	for _, r := range res.Rows {
+		byBeta[r.Beta] = r.Speedup
+	}
+	// Strong gains up to 16.
+	if byBeta[16] < 4*byBeta[2] {
+		t.Errorf("β=16 speedup %.1fx shows no overlap benefit over β=2 (%.1fx)", byBeta[16], byBeta[2])
+	}
+	// "Increasing the degree of β-parallelism above 16 had little impact".
+	if byBeta[32] > 1.35*byBeta[16] {
+		t.Errorf("β=32 (%.2fx) must not improve much over β=16 (%.2fx)", byBeta[32], byBeta[16])
+	}
+	// β=1 compares a program against itself plus one barrier: ≈1.
+	if byBeta[1] < 0.98 || byBeta[1] > 1.02 {
+		t.Errorf("β=1 speedup = %v, want ≈1", byBeta[1])
+	}
+}
+
+func TestFig18PropagationDropsCollectGrows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	res, err := Fig18(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if ratio := res.PropagateRatio(); ratio < 3 {
+		t.Errorf("propagation time dropped only %.1fx from 1 to 16 clusters (paper ≈10x)", ratio)
+	}
+	if last.GroupTime[isa.GroupCollect] <= first.GroupTime[isa.GroupCollect] {
+		t.Error("collection must take slightly longer as clusters increase")
+	}
+	if last.Total >= first.Total {
+		t.Error("total time must fall with more clusters")
+	}
+	// Propagation stays the dominant class at every size.
+	for _, r := range res.Rows {
+		if r.GroupTime[isa.GroupPropagate] < r.GroupTime[isa.GroupSetClear] {
+			t.Errorf("at %d clusters propagation lost dominance", r.Clusters)
+		}
+	}
+}
+
+func TestFig19PropagationDominatesAndGrows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	res, err := Fig19(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res.Rows {
+		// Propagation dominates at every size (paper's Fig. 19 headline;
+		// our non-propagation share moves a few points the other way —
+		// see EXPERIMENTS.md — but dominance holds throughout).
+		if r.PropFrac < 0.45 {
+			t.Errorf("%d nodes: propagation share %.1f%%, must dominate", r.Nodes, r.PropFrac*100)
+		}
+		if r.GroupTime[isa.GroupPropagate] < r.GroupTime[isa.GroupBoolean] {
+			t.Errorf("%d nodes: propagation not the largest class", r.Nodes)
+		}
+		if i > 0 && r.Total <= res.Rows[i-1].Total {
+			t.Errorf("total time must grow with the knowledge base (%d nodes)", r.Nodes)
+		}
+	}
+}
+
+func TestFig20PropagationsGrowThenSaturate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	res, err := Fig20(nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if last.Propagates <= first.Propagates {
+		t.Error("propagation count must grow with knowledge-base size")
+	}
+	if last.PropSteps <= first.PropSteps {
+		t.Error("propagation steps must grow with knowledge-base size")
+	}
+	// Saturation: the final doubling must grow the propagate count far
+	// less than the first doubling did (cancel-marker cap).
+	growEarly := float64(res.Rows[1].Propagates) / float64(res.Rows[0].Propagates)
+	growLate := float64(res.Rows[len(res.Rows)-1].Propagates) / float64(res.Rows[len(res.Rows)-2].Propagates)
+	if growLate > growEarly {
+		t.Errorf("no saturation: early growth %.2fx, late growth %.2fx", growEarly, growLate)
+	}
+	// Non-propagation counts stay in a narrow band relative to
+	// propagation-step explosion.
+	if float64(last.SetClear)/float64(first.SetClear) > 3 {
+		t.Error("set/clear counts must stay roughly constant")
+	}
+}
+
+func TestFig21OverheadShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	res, err := Fig21(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Rows
+	first, last := rows[0], rows[len(rows)-1]
+	// Broadcast: small and constant (global bus).
+	if first.Overhead.Broadcast != last.Overhead.Broadcast {
+		t.Errorf("broadcast overhead must stay constant: %v -> %v",
+			first.Overhead.Broadcast, last.Overhead.Broadcast)
+	}
+	// Communication: zero on one cluster, grows slowly after.
+	if first.Overhead.Communication != 0 {
+		t.Error("single cluster has no inter-cluster communication")
+	}
+	if last.Overhead.Communication == 0 {
+		t.Error("32 clusters must communicate")
+	}
+	// Synchronization: grows with cluster count but stays small.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Overhead.Synchronization <= rows[i-1].Overhead.Synchronization {
+			t.Error("barrier overhead must grow with cluster count")
+			break
+		}
+	}
+	if last.Overhead.Synchronization > last.Overhead.Collection {
+		t.Error("collection must be the most expensive overhead")
+	}
+	// Collection: the steepest-growing component.
+	if last.Overhead.Collection <= first.Overhead.Collection {
+		t.Error("collection overhead must grow with cluster count")
+	}
+}
+
+func TestRenderings(t *testing.T) {
+	// The text renderers must produce non-empty aligned tables without
+	// re-running experiments.
+	var f18 Fig18Result
+	f18.Rows = append(f18.Rows, groupRow(4, &trace.Profile{}))
+	if !strings.Contains(f18.String(), "Fig. 18") {
+		t.Error("Fig18 rendering")
+	}
+	f8 := Fig8Result{Series: []int64{5, 40, 0}, Mean: 15, Max: 40, Bursts: 1}
+	if !strings.Contains(f8.String(), "bursts>30: 1") {
+		t.Error("Fig8 rendering")
+	}
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+
+	"snap1/internal/isa"
+	"snap1/internal/timing"
+)
+
+// Fig19Row is one knowledge-base size's per-class execution time.
+type Fig19Row struct {
+	Nodes     int
+	GroupTime map[isa.Group]timing.Time
+	Total     timing.Time
+	PropFrac  float64 // propagation's share of total instruction time
+}
+
+// Fig19Result shows the profile against knowledge-base size: propagation
+// dominates throughout and its share grows as the network grows.
+type Fig19Result struct {
+	Rows []Fig19Row
+}
+
+// DefaultFig19Sizes sweeps 1K..16K-node knowledge bases.
+var DefaultFig19Sizes = []int{1000, 2000, 4000, 8000, 16000}
+
+// Fig19 runs the parse workload at each knowledge-base size on the
+// 16-cluster configuration.
+func Fig19(sizes []int) (*Fig19Result, error) {
+	if len(sizes) == 0 {
+		sizes = DefaultFig19Sizes
+	}
+	out := &Fig19Result{}
+	for _, n := range sizes {
+		prof, err := nluProfile(n, 16, 1)
+		if err != nil {
+			return nil, err
+		}
+		r18 := groupRow(0, prof)
+		row := Fig19Row{Nodes: n, GroupTime: r18.GroupTime, Total: r18.Total}
+		if row.Total > 0 {
+			row.PropFrac = float64(row.GroupTime[isa.GroupPropagate]) / float64(row.Total)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// String renders the sweep.
+func (f *Fig19Result) String() string {
+	return renderGroupSweep("Fig. 19: instruction time vs knowledge-base size (16 clusters)",
+		"KB nodes", f.Rows, func(r Fig19Row) string { return fmt.Sprint(r.Nodes) })
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"snap1/internal/isa"
+)
+
+// Fig20Row counts operations executed for the parse workload at one
+// knowledge-base size.
+type Fig20Row struct {
+	Nodes      int
+	Propagates int64 // PROPAGATE instructions (hypothesis verification grows these)
+	PropSteps  int64 // individual marker propagation steps
+	SetClear   int64
+	Boolean    int64
+	Collect    int64
+	Search     int64
+}
+
+// Fig20Result shows the operation counts against knowledge-base size: the
+// number of propagations grows as larger networks activate more
+// irrelevant candidates that must be removed with cancel markers, while
+// set/clear, boolean, and collection counts stay roughly constant.
+type Fig20Result struct {
+	Rows []Fig20Row
+}
+
+// Fig20 counts operations over a repeated parse batch per KB size.
+func Fig20(sizes []int, repeat int) (*Fig20Result, error) {
+	if len(sizes) == 0 {
+		sizes = DefaultFig19Sizes
+	}
+	if repeat <= 0 {
+		repeat = 3
+	}
+	out := &Fig20Result{}
+	for _, n := range sizes {
+		prof, err := nluProfile(n, 16, repeat)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, Fig20Row{
+			Nodes:      n,
+			Propagates: prof.GroupCount[isa.GroupPropagate],
+			PropSteps:  prof.PropSteps,
+			SetClear:   prof.GroupCount[isa.GroupSetClear],
+			Boolean:    prof.GroupCount[isa.GroupBoolean],
+			Collect:    prof.GroupCount[isa.GroupCollect],
+			Search:     prof.GroupCount[isa.GroupSearch],
+		})
+	}
+	return out, nil
+}
+
+// String renders the counts.
+func (f *Fig20Result) String() string {
+	header := []string{"KB nodes", "propagates", "prop steps", "set/clear", "boolean", "search", "collect"}
+	var rows [][]string
+	for _, r := range f.Rows {
+		rows = append(rows, []string{
+			fmt.Sprint(r.Nodes),
+			fmt.Sprint(r.Propagates),
+			fmt.Sprint(r.PropSteps),
+			fmt.Sprint(r.SetClear),
+			fmt.Sprint(r.Boolean),
+			fmt.Sprint(r.Collect),
+			fmt.Sprint(r.Search),
+		})
+	}
+	return "Fig. 20: operation counts vs knowledge-base size\n" + table(header, rows)
+}

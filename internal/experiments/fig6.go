@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+
+	"snap1/internal/isa"
+	"snap1/internal/machine"
+	"snap1/internal/trace"
+)
+
+// Fig6Row is one instruction class's share of executed instructions and
+// of total execution time, the two bars per class of the paper's Fig. 6.
+type Fig6Row struct {
+	Group     isa.Group
+	Count     int64
+	CountFrac float64
+	TimeFrac  float64
+}
+
+// Fig6Result is the regenerated instruction profile.
+type Fig6Result struct {
+	Rows    []Fig6Row
+	Profile *trace.Profile
+}
+
+// Fig6 profiles the NLU application on a single processor (one cluster,
+// one marker unit), as the paper's Fig. 6 measurement was made, and
+// reports relative instruction frequency against relative execution time.
+// The paper's headline: PROPAGATE is ~17% of the instruction count but
+// ~64.5% of the time.
+func Fig6() (*Fig6Result, error) {
+	cfg := machine.DefaultConfig()
+	cfg.MUsPerCluster = 1
+	cfg.ExtraMUClusters = 0
+	m, g, err := nluSetup(4000, 1, cfg)
+	if err != nil {
+		return nil, err
+	}
+	p := newParser(m, g)
+	prof, _, err := parseBatch(p, g, 2)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig6Result{Profile: prof}
+	for gi := 0; gi < isa.NumGroups; gi++ {
+		grp := isa.Group(gi)
+		if prof.GroupCount[gi] == 0 {
+			continue
+		}
+		cf, tf := prof.GroupShare(grp)
+		out.Rows = append(out.Rows, Fig6Row{
+			Group:     grp,
+			Count:     prof.GroupCount[gi],
+			CountFrac: cf,
+			TimeFrac:  tf,
+		})
+	}
+	return out, nil
+}
+
+// PropagateShares returns PROPAGATE's count and time fractions.
+func (f *Fig6Result) PropagateShares() (countFrac, timeFrac float64) {
+	for _, r := range f.Rows {
+		if r.Group == isa.GroupPropagate {
+			return r.CountFrac, r.TimeFrac
+		}
+	}
+	return 0, 0
+}
+
+// String renders the profile.
+func (f *Fig6Result) String() string {
+	header := []string{"Instruction class", "Count", "Freq %", "Time %"}
+	var rows [][]string
+	for _, r := range f.Rows {
+		rows = append(rows, []string{
+			r.Group.String(),
+			fmt.Sprint(r.Count),
+			fmt.Sprintf("%5.1f", r.CountFrac*100),
+			fmt.Sprintf("%5.1f", r.TimeFrac*100),
+		})
+	}
+	return "Fig. 6: relative instruction frequency and execution time (single PE)\n" +
+		table(header, rows)
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import "testing"
+
+func TestScaleStudyShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large generated networks")
+	}
+	res, err := Scale(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(DefaultScalePoints) {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+
+	// The knowledge base grows 16x across the sweep...
+	if last.InheritNode < 10*first.InheritNode {
+		t.Errorf("hierarchy did not scale: %d -> %d concepts", first.InheritNode, last.InheritNode)
+	}
+	// ...but with the array growing alongside it, inference time grows
+	// far sublinearly — the design argument for the million-concept
+	// machine. Allow generous slack; the claim is "not ∝ KB".
+	inheritGrowth := float64(last.InheritTime) / float64(first.InheritTime)
+	if inheritGrowth > 8 {
+		t.Errorf("inheritance time grew %.1fx over a 16x KB (want strongly sublinear)", inheritGrowth)
+	}
+	parseGrowth := float64(last.ParseTime) / float64(first.ParseTime)
+	if parseGrowth > 8 {
+		t.Errorf("parse time grew %.1fx over a 16x KB (want strongly sublinear)", parseGrowth)
+	}
+	// Parsing stays real-time at every scale.
+	for _, r := range res.Rows {
+		if r.ParseTime.Seconds() > 1 {
+			t.Errorf("%d nodes: parse %v is not real-time", r.Point.Nodes, r.ParseTime)
+		}
+	}
+	// Inter-cluster traffic grows with scale (the cost that motivates
+	// the paper's interconnect discussion).
+	if last.ParseMsgs <= first.ParseMsgs {
+		t.Error("message traffic must grow with scale")
+	}
+}

@@ -1,0 +1,223 @@
+// Package icn implements SNAP-1's 4-ary hypercube interconnection
+// network: a spanning-bus hypercube whose buses are replaced by four-port
+// memories (the board-local L memory and the off-board X and Y memories).
+//
+// Cluster addresses are split into base-4 digits; clusters that differ in
+// exactly one digit share a four-port memory and exchange messages in one
+// 80 ns port-to-port transfer. Routing corrects one digit per hop, so an
+// N-cluster array needs at most ⌈log₄N⌉ hops (three for 32 clusters).
+// Messages are fixed-size marker activations; propagation rules live in
+// the pre-downloaded microcode table, so a message carries only a
+// single-byte rule token.
+package icn
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"snap1/internal/mpmem"
+	"snap1/internal/rules"
+	"snap1/internal/semnet"
+	"snap1/internal/timing"
+)
+
+// Message is one 64-bit marker activation message (Section III-B: "The
+// length of the message is 64 b and includes the marker, value, function,
+// destination address, first origin address, and propagation rule").
+// SendTime and Level are simulation bookkeeping: the virtual timestamp for
+// the receive-time rule and the propagation tier for the tiered
+// synchronization protocol.
+type Message struct {
+	Marker semnet.MarkerID
+	Value  float32
+	Fn     semnet.FuncCode
+	Dest   semnet.NodeID // destination node (global ID)
+	Origin semnet.NodeID // first origin address, for binding
+	Rule   rules.Token
+	State  rules.State
+
+	DestCluster uint8
+	Level       uint16      // propagation tier (termination protocol)
+	Hops        uint8       // accumulated hops so far
+	SendTime    timing.Time // virtual time the message entered the ICN
+}
+
+// Digits reports the number of base-4 address digits needed for n
+// clusters (the hypercube dimension count).
+func Digits(n int) int {
+	d := 0
+	for c := 1; c < n; c *= 4 {
+		d++
+	}
+	if d == 0 {
+		d = 1
+	}
+	return d
+}
+
+// Network is the array-wide interconnect: one inbound mailbox region per
+// cluster plus routing arithmetic and traffic statistics.
+type Network struct {
+	clusters int
+	digits   int
+	mailbox  []*mpmem.Queue[Message]
+
+	sent      atomic.Int64 // end-to-end messages injected
+	forwarded atomic.Int64 // intermediate relays
+	hopTotal  atomic.Int64 // total port-to-port transfers
+}
+
+// New returns a network for the given cluster count; each cluster's
+// mailbox region buffers up to mailboxCap messages (senders block beyond
+// that, modeling the bounded four-port buffering).
+func New(clusters, mailboxCap int) *Network {
+	if clusters <= 0 {
+		panic("icn: need at least one cluster")
+	}
+	n := &Network{
+		clusters: clusters,
+		digits:   Digits(clusters),
+		mailbox:  make([]*mpmem.Queue[Message], clusters),
+	}
+	for i := range n.mailbox {
+		n.mailbox[i] = mpmem.NewQueue[Message](mailboxCap)
+	}
+	return n
+}
+
+// Clusters reports the cluster count.
+func (n *Network) Clusters() int { return n.clusters }
+
+// Hops reports the number of port-to-port transfers between two clusters
+// along the route NextHop takes: the count of differing base-4 address
+// digits, except where the incomplete-array fallback shortens the path.
+func (n *Network) Hops(from, to int) int {
+	h := 0
+	for at := from; at != to; at = n.NextHop(at, to) {
+		h++
+	}
+	return h
+}
+
+// NextHop reports the neighbouring cluster one digit-correction closer to
+// dest (lowest differing digit first), or dest itself when adjacent.
+// When the array does not fill its hypercube (a cluster count that is not
+// a power of four), a correction that would land on a nonexistent cluster
+// falls through to direct delivery, modeling the incomplete backplane's
+// extra wiring.
+func (n *Network) NextHop(from, dest int) int {
+	for d := 0; d < n.digits; d++ {
+		shift := uint(2 * d)
+		if (from>>shift)&3 != (dest>>shift)&3 {
+			next := from&^(3<<shift) | dest&(3<<shift)
+			if next >= n.clusters {
+				return dest
+			}
+			return next
+		}
+	}
+	return dest
+}
+
+// Route returns the full hop sequence from -> ... -> dest (excluding from,
+// including dest). The empty route means from == dest.
+func (n *Network) Route(from, dest int) []int {
+	var route []int
+	for at := from; at != dest; {
+		at = n.NextHop(at, dest)
+		route = append(route, at)
+	}
+	return route
+}
+
+// Dimension names for diagnostics: digit 0 is the board-local L memory,
+// digits 1 and 2 are the off-board X and Y memories.
+func DimensionName(digit int) string {
+	switch digit {
+	case 0:
+		return "L"
+	case 1:
+		return "X"
+	case 2:
+		return "Y"
+	default:
+		return fmt.Sprintf("D%d", digit)
+	}
+}
+
+// Send injects a new message at cluster from, enqueueing it in the
+// next-hop cluster's mailbox. It blocks if that mailbox region is full and
+// reports false only if the network has been shut down.
+func (n *Network) Send(from int, m Message) bool {
+	next := n.NextHop(from, int(m.DestCluster))
+	m.Hops++
+	n.sent.Add(1)
+	n.hopTotal.Add(1)
+	return n.mailbox[next].Put(m)
+}
+
+// Forward relays a transit message from an intermediate cluster toward its
+// destination (the CU disassembles and relays incoming transit messages).
+func (n *Network) Forward(at int, m Message) bool {
+	next := n.NextHop(at, int(m.DestCluster))
+	m.Hops++
+	n.forwarded.Add(1)
+	n.hopTotal.Add(1)
+	return n.mailbox[next].Put(m)
+}
+
+// TrySend is Send without blocking: it reports false (with no state
+// change) when the next-hop mailbox region is full, letting the sender
+// service its own mailbox instead of deadlocking on mutually full buffers.
+func (n *Network) TrySend(from int, m Message) bool {
+	next := n.NextHop(from, int(m.DestCluster))
+	m.Hops++
+	if !n.mailbox[next].TryPut(m) {
+		return false
+	}
+	n.sent.Add(1)
+	n.hopTotal.Add(1)
+	return true
+}
+
+// TryForward is Forward without blocking, with the same contract as
+// TrySend.
+func (n *Network) TryForward(at int, m Message) bool {
+	next := n.NextHop(at, int(m.DestCluster))
+	m.Hops++
+	if !n.mailbox[next].TryPut(m) {
+		return false
+	}
+	n.forwarded.Add(1)
+	n.hopTotal.Add(1)
+	return true
+}
+
+// Recv blocks for the next message addressed to (or transiting) cluster c.
+func (n *Network) Recv(c int) (Message, bool) { return n.mailbox[c].Get() }
+
+// TryRecv polls cluster c's mailbox without blocking.
+func (n *Network) TryRecv(c int) (Message, bool) { return n.mailbox[c].TryGet() }
+
+// Pending reports the queue depth at cluster c's mailbox.
+func (n *Network) Pending(c int) int { return n.mailbox[c].Len() }
+
+// Close shuts down every mailbox, releasing blocked senders and receivers.
+func (n *Network) Close() {
+	for _, q := range n.mailbox {
+		q.Close()
+	}
+}
+
+// Stats reports injected messages, intermediate relays, and total
+// port-to-port transfers since construction.
+func (n *Network) Stats() (sent, forwarded, hops int64) {
+	return n.sent.Load(), n.forwarded.Load(), n.hopTotal.Load()
+}
+
+// ResetStats zeroes the traffic counters (between experiment phases).
+func (n *Network) ResetStats() {
+	n.sent.Store(0)
+	n.forwarded.Store(0)
+	n.hopTotal.Store(0)
+}

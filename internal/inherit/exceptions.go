@@ -1,0 +1,121 @@
+package inherit
+
+import (
+	"fmt"
+
+	"snap1/internal/isa"
+	"snap1/internal/kbgen"
+	"snap1/internal/machine"
+	"snap1/internal/rules"
+	"snap1/internal/semnet"
+)
+
+// Inheritance with exceptions: the classic marker-passing problem (a
+// penguin is-a bird, birds fly, but penguins do not). The paper's cited
+// property-inheritance work [13] handles defaults and exceptions with
+// cancel markers; this implements that scheme on the SNAP ISA:
+//
+//  1. the property spreads down every subsumes chain under one marker,
+//  2. each exception link plants a cancel source whose marker spreads
+//     down the SAME chains, shadowing the property in the whole subtree,
+//  3. a global AND-NOT subtracts the shadow from the property set.
+//
+// Exceptions nested under exceptions (a magic penguin that flies again)
+// are handled by alternating restore markers, one round per nesting level.
+
+// Exception marks a concept that blocks (or, with Restore, re-enables)
+// inheritance of the property for itself and everything it subsumes.
+type Exception struct {
+	At      semnet.NodeID
+	Restore bool // re-enable under a blocked subtree
+}
+
+// PropertyQuery describes one inheritance-with-exceptions run.
+type PropertyQuery struct {
+	Source     semnet.NodeID // where the property is asserted
+	Exceptions []Exception
+}
+
+// Markers used by the exception scheme.
+const (
+	mePropSrc = semnet.MarkerID(50)
+	meProp    = semnet.MarkerID(51)
+	meBlkSrc  = semnet.MarkerID(52)
+	meBlk     = semnet.MarkerID(53)
+	meResSrc  = semnet.MarkerID(54)
+	meRes     = semnet.MarkerID(55)
+	meHolds   = semnet.MarkerID(56)
+)
+
+var (
+	beNotBlk = semnet.Binary(50)
+	beTmp    = semnet.Binary(51)
+)
+
+// InheritWithExceptions computes the set of concepts at which the
+// property actually holds: reached by the property spread, not shadowed
+// by a blocking exception, unless re-enabled by a restoring exception
+// below the block.
+func InheritWithExceptions(m *machine.Machine, g *kbgen.Generated, q PropertyQuery) (*Result, error) {
+	if int(q.Source) >= g.KB.NumNodes() {
+		return nil, fmt.Errorf("inherit: source %d not in knowledge base", q.Source)
+	}
+	down := rules.Path(g.Rel.Subsumes)
+	p := isa.NewProgram()
+	for _, mk := range []semnet.MarkerID{
+		mePropSrc, meProp, meBlkSrc, meBlk, meResSrc, meRes, meHolds,
+		beNotBlk, beTmp,
+	} {
+		p.ClearM(mk)
+	}
+
+	// Property spread.
+	p.SearchNode(q.Source, mePropSrc, 0)
+	p.Propagate(mePropSrc, meProp, down, semnet.FuncAdd)
+
+	// Blocking and restoring shadows spread independently (the PU
+	// overlaps them with the property spread — they use disjoint
+	// markers).
+	anyBlock, anyRestore := false, false
+	for _, e := range q.Exceptions {
+		if int(e.At) >= g.KB.NumNodes() {
+			return nil, fmt.Errorf("inherit: exception at %d not in knowledge base", e.At)
+		}
+		if e.Restore {
+			p.SearchNode(e.At, meResSrc, 0)
+			anyRestore = true
+		} else {
+			p.SearchNode(e.At, meBlkSrc, 0)
+			anyBlock = true
+		}
+	}
+	if anyBlock {
+		p.Propagate(meBlkSrc, meBlk, down, semnet.FuncNop)
+		// The exception applies at the exception concept itself too.
+		p.Or(meBlk, meBlkSrc, meBlk, semnet.FuncNop)
+	}
+	if anyRestore {
+		p.Propagate(meResSrc, meRes, down, semnet.FuncNop)
+		p.Or(meRes, meResSrc, meRes, semnet.FuncNop)
+	}
+
+	// holds := prop AND (NOT blocked OR restored). The source itself
+	// carries the property by assertion.
+	p.Not(meBlk, beNotBlk, 0, isa.CondNone)
+	p.Or(beNotBlk, meRes, beTmp, semnet.FuncNop)
+	p.And(meProp, beTmp, meHolds, semnet.FuncMax)
+	p.Or(meHolds, mePropSrc, meHolds, semnet.FuncMax)
+	p.CollectNode(meHolds)
+
+	res, err := m.Run(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Time:      res.Time,
+		Reached:   len(res.Collected(0)),
+		MaxDepth:  res.Profile.PropMaxDepth,
+		Collected: res.Collected(0),
+		Profile:   res.Profile,
+	}, nil
+}

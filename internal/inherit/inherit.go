@@ -1,0 +1,119 @@
+// Package inherit implements the basic inferencing operations the paper
+// benchmarks in Fig. 15: inheritance of attributes from concepts in the
+// knowledge-base hierarchy (root-to-leaf propagation) and concept
+// classification by constraint intersection.
+package inherit
+
+import (
+	"fmt"
+
+	"snap1/internal/isa"
+	"snap1/internal/kbgen"
+	"snap1/internal/machine"
+	"snap1/internal/rules"
+	"snap1/internal/semnet"
+	"snap1/internal/timing"
+	"snap1/internal/trace"
+)
+
+// Marker allocation for the inference programs.
+const (
+	mSrc  = semnet.MarkerID(0) // activation at the property source
+	mInh  = semnet.MarkerID(1) // inherited-property marker (path cost)
+	mLeaf = semnet.MarkerID(2) // inherited property at leaf concepts
+)
+
+var (
+	bLeaf = semnet.Binary(0)
+	bTmp  = semnet.Binary(1)
+	bAll  = semnet.Binary(2)
+)
+
+// Result reports one inference run.
+type Result struct {
+	Time      timing.Time
+	Reached   int // concepts that inherited the property
+	Leaves    int // leaf concepts that inherited it
+	MaxDepth  int
+	Collected []machine.Item
+	Profile   *trace.Profile
+}
+
+// Inheritance runs root-to-leaf property inheritance: the root concept's
+// property spreads down every subsumes chain, accumulating link weights as
+// the inheritance distance, and the leaf-level results are retrieved.
+func Inheritance(m *machine.Machine, g *kbgen.Generated) (*Result, error) {
+	p := isa.NewProgram()
+	p.ClearM(mSrc)
+	p.ClearM(mInh)
+	p.ClearM(mLeaf)
+	p.ClearM(bLeaf)
+	p.SearchNode(g.HierRoot, mSrc, 0)
+	p.Propagate(mSrc, mInh, rules.Path(g.Rel.Subsumes), semnet.FuncAdd)
+	p.SearchColor(g.Col.Leaf, bLeaf, 0)
+	p.And(mInh, bLeaf, mLeaf, semnet.FuncMax)
+	p.CollectNode(mLeaf)
+
+	res, err := m.Run(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Time:      res.Time,
+		Reached:   m.MarkerCount(mInh),
+		Leaves:    len(res.Collected(0)),
+		MaxDepth:  res.Profile.PropMaxDepth,
+		Collected: res.Collected(0),
+		Profile:   res.Profile,
+	}, nil
+}
+
+// Classification finds the concepts subsumed by every one of the given
+// property classes: each property spreads downward under its own marker
+// and a global AND intersects them (the paper's concept classification
+// application [6]).
+func Classification(m *machine.Machine, g *kbgen.Generated, props []semnet.NodeID) (*Result, error) {
+	if len(props) == 0 {
+		return nil, fmt.Errorf("inherit: classification needs at least one property")
+	}
+	if len(props) > 16 {
+		return nil, fmt.Errorf("inherit: at most 16 properties, got %d", len(props))
+	}
+	p := isa.NewProgram()
+	for i := range props {
+		p.ClearM(semnet.MarkerID(8 + 2*i))
+		p.ClearM(semnet.MarkerID(8 + 2*i + 1))
+	}
+	p.ClearM(bAll)
+	p.ClearM(bTmp)
+
+	// Independent downward spreads: one marker pair per property
+	// (β-overlappable).
+	down := rules.Path(g.Rel.Subsumes)
+	for i, prop := range props {
+		src := semnet.MarkerID(8 + 2*i)
+		dst := semnet.MarkerID(8 + 2*i + 1)
+		p.SearchNode(prop, src, 0)
+		p.Propagate(src, dst, down, semnet.FuncAdd)
+	}
+
+	// Intersection: concepts under every property.
+	first := semnet.MarkerID(8 + 1)
+	p.And(first, first, bAll, semnet.FuncNop)
+	for i := 1; i < len(props); i++ {
+		p.And(bAll, semnet.MarkerID(8+2*i+1), bAll, semnet.FuncNop)
+	}
+	p.CollectNode(bAll)
+
+	res, err := m.Run(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Time:      res.Time,
+		Reached:   len(res.Collected(0)),
+		MaxDepth:  res.Profile.PropMaxDepth,
+		Collected: res.Collected(0),
+		Profile:   res.Profile,
+	}, nil
+}

@@ -1,0 +1,137 @@
+package isa
+
+import "snap1/internal/semnet"
+
+// MarkerSet is a bitset over the 128 marker registers, used for the data
+// dependency analysis that lets the processing unit overlap independent
+// PROPAGATE statements (β-parallelism, Section II-C).
+type MarkerSet struct{ lo, hi uint64 }
+
+// Add inserts marker m.
+func (s *MarkerSet) Add(m semnet.MarkerID) {
+	if m < 64 {
+		s.lo |= 1 << m
+	} else if m < semnet.NumMarkers {
+		s.hi |= 1 << (m - 64)
+	}
+}
+
+// Contains reports whether m is in the set.
+func (s MarkerSet) Contains(m semnet.MarkerID) bool {
+	if m < 64 {
+		return s.lo&(1<<m) != 0
+	}
+	if m < semnet.NumMarkers {
+		return s.hi&(1<<(m-64)) != 0
+	}
+	return false
+}
+
+// Intersects reports whether the two sets share any marker.
+func (s MarkerSet) Intersects(o MarkerSet) bool {
+	return s.lo&o.lo != 0 || s.hi&o.hi != 0
+}
+
+// Union returns the combined set.
+func (s MarkerSet) Union(o MarkerSet) MarkerSet {
+	return MarkerSet{lo: s.lo | o.lo, hi: s.hi | o.hi}
+}
+
+// Empty reports whether the set holds no markers.
+func (s MarkerSet) Empty() bool { return s.lo == 0 && s.hi == 0 }
+
+// Count reports the number of markers in the set.
+func (s MarkerSet) Count() int { return popcount64(s.lo) + popcount64(s.hi) }
+
+func popcount64(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Reads returns the set of markers whose status or value the instruction
+// consumes.
+func (in *Instruction) Reads() MarkerSet {
+	var s MarkerSet
+	switch in.Op {
+	case OpPropagate:
+		s.Add(in.M1)
+		s.Add(in.M2) // merge semantics read the destination marker too
+	case OpAndMarker, OpOrMarker:
+		s.Add(in.M1)
+		s.Add(in.M2)
+	case OpNotMarker:
+		s.Add(in.M1)
+	case OpFuncMarker, OpCollectNode, OpCollectRelation, OpCollectColor,
+		OpMarkerCreate, OpMarkerDelete, OpMarkerSetColor:
+		s.Add(in.M1)
+	}
+	return s
+}
+
+// Writes returns the set of markers whose status or value the instruction
+// produces.
+func (in *Instruction) Writes() MarkerSet {
+	var s MarkerSet
+	switch in.Op {
+	case OpSearchNode, OpSearchRelation, OpSearchColor,
+		OpSetMarker, OpClearMarker, OpFuncMarker:
+		s.Add(in.M1)
+	case OpPropagate, OpNotMarker:
+		s.Add(in.M2)
+	case OpAndMarker, OpOrMarker:
+		s.Add(in.M3)
+	}
+	return s
+}
+
+// Serializing reports whether the instruction forces the processing unit
+// to drain its overlap window before (and while) executing: COLLECT-NODE
+// and COMM-END per Section III-A ("The PU continues processing until any
+// of the following occur: a COLLECT-NODE opcode is received, a COMM-END
+// barrier synchronization is requested, or the queue is full").
+func (in *Instruction) Serializing() bool {
+	switch in.Op {
+	case OpCollectNode, OpCollectRelation, OpCollectColor, OpCommEnd,
+		OpCreate, OpDelete, OpSetColor, OpMarkerCreate, OpMarkerDelete:
+		// Retrieval and barrier per the paper; structural (topology-
+		// mutating) instructions also serialize because in-flight
+		// propagation reads the relation table they modify.
+		return true
+	}
+	return false
+}
+
+// Independent reports whether instructions a and b have no marker data
+// dependency in either direction, and so may overlap in the PU's issue
+// window (the β-parallelism condition: "there are no data dependencies in
+// the markers used").
+func Independent(a, b *Instruction) bool {
+	if a.Serializing() || b.Serializing() {
+		return false
+	}
+	aw, bw := a.Writes(), b.Writes()
+	return !aw.Intersects(b.Reads()) && !aw.Intersects(bw) &&
+		!bw.Intersects(a.Reads())
+}
+
+// OverlapDegrees computes, for each instruction in the program, how many
+// immediately preceding instructions it can overlap with — the measured
+// β value per issue point. The returned slice aligns with p.Instrs.
+func OverlapDegrees(p *Program) []int {
+	degs := make([]int, len(p.Instrs))
+	for i := range p.Instrs {
+		d := 0
+		for j := i - 1; j >= 0; j-- {
+			if !Independent(&p.Instrs[i], &p.Instrs[j]) {
+				break
+			}
+			d++
+		}
+		degs[i] = d
+	}
+	return degs
+}

@@ -1,0 +1,154 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+
+	"snap1/internal/rules"
+	"snap1/internal/semnet"
+)
+
+func prop(m1, m2 semnet.MarkerID) Instruction {
+	return Instruction{Op: OpPropagate, M1: m1, M2: m2, Rule: 1, Fn: semnet.FuncNop}
+}
+
+func TestMarkerSetBasics(t *testing.T) {
+	var s MarkerSet
+	if !s.Empty() || s.Count() != 0 {
+		t.Fatal("zero set")
+	}
+	s.Add(0)
+	s.Add(63)
+	s.Add(64)
+	s.Add(127)
+	s.Add(200) // out of range: ignored
+	if s.Count() != 4 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	for _, m := range []semnet.MarkerID{0, 63, 64, 127} {
+		if !s.Contains(m) {
+			t.Errorf("missing %d", m)
+		}
+	}
+	if s.Contains(1) || s.Contains(200) {
+		t.Error("spurious membership")
+	}
+}
+
+func TestMarkerSetOpsQuick(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		var sa, sb MarkerSet
+		ref := make(map[semnet.MarkerID]bool)
+		for _, m := range a {
+			sa.Add(semnet.MarkerID(m % 128))
+			ref[semnet.MarkerID(m%128)] = true
+		}
+		shared := false
+		for _, m := range b {
+			sb.Add(semnet.MarkerID(m % 128))
+			if ref[semnet.MarkerID(m%128)] {
+				shared = true
+			}
+		}
+		if sa.Intersects(sb) != shared {
+			return false
+		}
+		u := sa.Union(sb)
+		for m := 0; m < 128; m++ {
+			id := semnet.MarkerID(m)
+			if u.Contains(id) != (sa.Contains(id) || sb.Contains(id)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropagateReadsWrites(t *testing.T) {
+	in := prop(3, 9)
+	r, w := in.Reads(), in.Writes()
+	if !r.Contains(3) || !r.Contains(9) {
+		t.Error("propagate reads its source and (for merge) destination")
+	}
+	if !w.Contains(9) || w.Contains(3) {
+		t.Error("propagate writes only its destination")
+	}
+}
+
+func TestIndependence(t *testing.T) {
+	a := prop(1, 2)
+	b := prop(3, 4)
+	if !Independent(&a, &b) {
+		t.Error("disjoint marker pairs must be independent")
+	}
+	c := prop(2, 5) // reads a's output
+	if Independent(&a, &c) {
+		t.Error("read-after-write dependency missed")
+	}
+	d := prop(6, 2) // writes a's output
+	if Independent(&a, &d) {
+		t.Error("write-after-write dependency missed")
+	}
+	e := prop(5, 1) // writes a's input
+	if Independent(&a, &e) {
+		t.Error("write-after-read dependency missed")
+	}
+	coll := Instruction{Op: OpCollectNode, M1: 60}
+	if Independent(&a, &coll) {
+		t.Error("retrieval serializes the window")
+	}
+	barrier := Instruction{Op: OpCommEnd}
+	if Independent(&a, &barrier) {
+		t.Error("COMM-END serializes the window")
+	}
+}
+
+func TestIndependentSymmetricQuick(t *testing.T) {
+	f := func(m1, m2, m3, m4 uint8) bool {
+		a := prop(semnet.MarkerID(m1%128), semnet.MarkerID(m2%128))
+		b := prop(semnet.MarkerID(m3%128), semnet.MarkerID(m4%128))
+		return Independent(&a, &b) == Independent(&b, &a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSerializingSet(t *testing.T) {
+	serializing := []Opcode{
+		OpCollectNode, OpCollectRelation, OpCollectColor, OpCommEnd,
+		OpCreate, OpDelete, OpSetColor, OpMarkerCreate, OpMarkerDelete,
+	}
+	for _, op := range serializing {
+		in := Instruction{Op: op}
+		if !in.Serializing() {
+			t.Errorf("%v must serialize", op)
+		}
+	}
+	for _, op := range []Opcode{OpPropagate, OpSetMarker, OpAndMarker, OpSearchColor} {
+		in := Instruction{Op: op}
+		if in.Serializing() {
+			t.Errorf("%v must not serialize", op)
+		}
+	}
+}
+
+func TestOverlapDegrees(t *testing.T) {
+	p := NewProgram()
+	spec := rules.Path(1)
+	p.Propagate(1, 2, spec, semnet.FuncNop)   // deg 0
+	p.Propagate(3, 4, spec, semnet.FuncNop)   // deg 1 (independent of #0)
+	p.Propagate(5, 6, spec, semnet.FuncNop)   // deg 2
+	p.Propagate(2, 7, spec, semnet.FuncNop)   // reads #0's output: overlaps #2,#1 only
+	p.Propagate(10, 11, spec, semnet.FuncNop) // independent of all four
+	degs := OverlapDegrees(p)
+	want := []int{0, 1, 2, 2, 4}
+	for i := range want {
+		if degs[i] != want[i] {
+			t.Fatalf("degs = %v, want %v", degs, want)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+// Package isa defines the SNAP-1 high-level instruction set for
+// marker-propagation (the paper's Table II): twenty instructions across
+// six groups — node maintenance, search, propagation, marker node
+// maintenance, boolean, set/clear, and retrieval — plus the COMM-END
+// barrier request that the processing units synchronize on.
+//
+// The programmer deals only with logical structures (markers, relations,
+// nodes); physical allocation across clusters stays transparent, exactly
+// as in the prototype.
+package isa
+
+import (
+	"fmt"
+
+	"snap1/internal/rules"
+	"snap1/internal/semnet"
+)
+
+// Opcode identifies a SNAP instruction.
+type Opcode uint8
+
+// The twenty SNAP-1 opcodes (Table II) plus COMM-END.
+const (
+	// Node maintenance.
+	OpCreate   Opcode = iota // source-node, relation, weight, end-node
+	OpDelete                 // source-node, relation, end-node
+	OpSetColor               // node, color
+
+	// Search.
+	OpSearchNode     // node, marker, value
+	OpSearchRelation // relation, marker, value
+	OpSearchColor    // color, marker, value
+
+	// Propagation.
+	OpPropagate // marker-1, marker-2, rule-type(r1,r2), function
+
+	// Marker node maintenance.
+	OpMarkerCreate   // marker, forward-relation, end-node, reverse-relation
+	OpMarkerDelete   // marker, forward-relation, end-node, reverse-relation
+	OpMarkerSetColor // marker, color
+
+	// Boolean.
+	OpAndMarker // marker-1, marker-2, marker-3, function
+	OpOrMarker  // marker-1, marker-2, marker-3, function
+	OpNotMarker // marker-1, marker-2, value, condition
+
+	// Set/clear.
+	OpSetMarker   // marker, value
+	OpClearMarker // marker
+	OpFuncMarker  // marker, function, operand
+
+	// Retrieval.
+	OpCollectNode     // marker
+	OpCollectRelation // marker, relation
+	OpCollectColor    // marker
+
+	// Barrier request: block instruction issue until all propagation in
+	// flight has terminated (tiered synchronization).
+	OpCommEnd
+
+	NumOpcodes = int(OpCommEnd) + 1
+)
+
+var opNames = [NumOpcodes]string{
+	"CREATE", "DELETE", "SET-COLOR",
+	"SEARCH-NODE", "SEARCH-RELATION", "SEARCH-COLOR",
+	"PROPAGATE",
+	"MARKER-CREATE", "MARKER-DELETE", "MARKER-SET-COLOR",
+	"AND-MARKER", "OR-MARKER", "NOT-MARKER",
+	"SET-MARKER", "CLEAR-MARKER", "FUNC-MARKER",
+	"COLLECT-NODE", "COLLECT-RELATION", "COLLECT-COLOR",
+	"COMM-END",
+}
+
+func (op Opcode) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("OP(%d)", uint8(op))
+}
+
+// Group classifies opcodes into the categories the paper's instruction
+// profiles (Figs. 6, 18, 19, 20) report on.
+type Group uint8
+
+// Instruction groups.
+const (
+	GroupNodeMaint Group = iota
+	GroupSearch
+	GroupPropagate
+	GroupMarkerMaint
+	GroupBoolean
+	GroupSetClear
+	GroupCollect
+	GroupSync
+	NumGroups = int(GroupSync) + 1
+)
+
+func (g Group) String() string {
+	switch g {
+	case GroupNodeMaint:
+		return "node-maint"
+	case GroupSearch:
+		return "search"
+	case GroupPropagate:
+		return "propagate"
+	case GroupMarkerMaint:
+		return "marker-maint"
+	case GroupBoolean:
+		return "boolean"
+	case GroupSetClear:
+		return "set/clear"
+	case GroupCollect:
+		return "collect"
+	case GroupSync:
+		return "sync"
+	default:
+		return fmt.Sprintf("group(%d)", uint8(g))
+	}
+}
+
+// GroupOf returns op's profile group.
+func GroupOf(op Opcode) Group {
+	switch op {
+	case OpCreate, OpDelete, OpSetColor:
+		return GroupNodeMaint
+	case OpSearchNode, OpSearchRelation, OpSearchColor:
+		return GroupSearch
+	case OpPropagate:
+		return GroupPropagate
+	case OpMarkerCreate, OpMarkerDelete, OpMarkerSetColor:
+		return GroupMarkerMaint
+	case OpAndMarker, OpOrMarker, OpNotMarker:
+		return GroupBoolean
+	case OpSetMarker, OpClearMarker, OpFuncMarker:
+		return GroupSetClear
+	case OpCollectNode, OpCollectRelation, OpCollectColor:
+		return GroupCollect
+	default:
+		return GroupSync
+	}
+}
+
+// Condition is the comparison carried by NOT-MARKER: marker-2 is set where
+// marker-1 is clear or where marker-1's value fails the condition against
+// the instruction's Value operand.
+type Condition uint8
+
+// Conditions.
+const (
+	CondNone Condition = iota // ignore values: pure complement
+	CondLT                    // marker value <  operand
+	CondLE                    // marker value <= operand
+	CondGT                    // marker value >  operand
+	CondGE                    // marker value >= operand
+	CondEQ                    // marker value == operand
+	CondNE                    // marker value != operand
+	numConds
+)
+
+// Valid reports whether c is a defined condition.
+func (c Condition) Valid() bool { return c < numConds }
+
+// Eval applies the condition to a marker value and the operand.
+func (c Condition) Eval(v, operand float32) bool {
+	switch c {
+	case CondLT:
+		return v < operand
+	case CondLE:
+		return v <= operand
+	case CondGT:
+		return v > operand
+	case CondGE:
+		return v >= operand
+	case CondEQ:
+		return v == operand
+	case CondNE:
+		return v != operand
+	default:
+		return true
+	}
+}
+
+func (c Condition) String() string {
+	switch c {
+	case CondNone:
+		return "none"
+	case CondLT:
+		return "lt"
+	case CondLE:
+		return "le"
+	case CondGT:
+		return "gt"
+	case CondGE:
+		return "ge"
+	case CondEQ:
+		return "eq"
+	case CondNE:
+		return "ne"
+	default:
+		return fmt.Sprintf("cond(%d)", uint8(c))
+	}
+}
+
+// Instruction is one SNAP instruction. Fields are a union over the operand
+// forms of Table II; each opcode documents which fields it consumes.
+type Instruction struct {
+	Op Opcode
+
+	Node    semnet.NodeID  // CREATE/DELETE source, SET-COLOR, SEARCH-NODE
+	EndNode semnet.NodeID  // CREATE/DELETE/MARKER-CREATE/MARKER-DELETE end-node
+	Rel     semnet.RelType // CREATE/DELETE/SEARCH-RELATION/MARKER-*/COLLECT-RELATION
+	RevRel  semnet.RelType // MARKER-CREATE/MARKER-DELETE reverse-relation
+	HasRev  bool           // whether RevRel is present
+	Weight  float32        // CREATE link weight
+	Color   semnet.Color   // SET-COLOR/SEARCH-COLOR/MARKER-SET-COLOR
+
+	M1, M2, M3 semnet.MarkerID // marker operands in Table II order
+	Value      float32         // SEARCH value, SET-MARKER value, NOT-MARKER operand
+	Fn         semnet.FuncCode // PROPAGATE/AND/OR/FUNC function
+	Cond       Condition       // NOT-MARKER condition
+
+	Rule rules.Token // PROPAGATE rule token (into the program's rule table)
+}
+
+// Validate checks operand ranges for the instruction's opcode.
+func (in *Instruction) Validate() error {
+	switch in.Op {
+	case OpSearchNode:
+		if !in.M1.Valid() {
+			return fmt.Errorf("isa: %s: invalid marker %d", in.Op, in.M1)
+		}
+	case OpPropagate:
+		if !in.M1.Valid() || !in.M2.Valid() {
+			return fmt.Errorf("isa: %s: invalid markers %d,%d", in.Op, in.M1, in.M2)
+		}
+		if !in.Fn.Valid() {
+			return fmt.Errorf("isa: %s: invalid function %d", in.Op, in.Fn)
+		}
+		if in.Rule == 0 {
+			return fmt.Errorf("isa: %s: missing rule token", in.Op)
+		}
+	case OpAndMarker, OpOrMarker:
+		if !in.M1.Valid() || !in.M2.Valid() || !in.M3.Valid() {
+			return fmt.Errorf("isa: %s: invalid markers", in.Op)
+		}
+		if !in.Fn.Valid() {
+			return fmt.Errorf("isa: %s: invalid function %d", in.Op, in.Fn)
+		}
+	case OpNotMarker:
+		if !in.M1.Valid() || !in.M2.Valid() {
+			return fmt.Errorf("isa: %s: invalid markers", in.Op)
+		}
+		if !in.Cond.Valid() {
+			return fmt.Errorf("isa: %s: invalid condition %d", in.Op, in.Cond)
+		}
+	case OpSetMarker, OpClearMarker, OpFuncMarker, OpCollectNode,
+		OpCollectRelation, OpCollectColor, OpMarkerCreate, OpMarkerDelete,
+		OpMarkerSetColor, OpSearchRelation, OpSearchColor:
+		if !in.M1.Valid() {
+			return fmt.Errorf("isa: %s: invalid marker %d", in.Op, in.M1)
+		}
+		if in.Op == OpFuncMarker && !in.Fn.Valid() {
+			return fmt.Errorf("isa: %s: invalid function %d", in.Op, in.Fn)
+		}
+	case OpCreate, OpDelete, OpSetColor, OpCommEnd:
+		// Node existence is checked at execution against the loaded KB.
+	default:
+		return fmt.Errorf("isa: unknown opcode %d", in.Op)
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+// Package kbfile reads and writes semantic networks in a plain text
+// format, the host-side interchange for cmd/snapsim:
+//
+//	# comment
+//	node <name> <color-name> [fn]
+//	link <from> <relation-name> <weight> <to>
+//
+// Node and color names are free-form words; relations and colors are
+// interned in declaration order, so a network round-trips exactly.
+package kbfile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"snap1/internal/semnet"
+)
+
+// Parse reads a knowledge base from r.
+func Parse(r io.Reader) (*semnet.KB, error) {
+	kb := semnet.NewKB()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if err := parseLine(kb, fields); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return kb, nil
+}
+
+func parseLine(kb *semnet.KB, fields []string) error {
+	switch fields[0] {
+	case "node":
+		if len(fields) < 3 || len(fields) > 4 {
+			return fmt.Errorf("node wants <name> <color> [fn], got %d operands", len(fields)-1)
+		}
+		id, err := kb.AddNode(fields[1], kb.ColorFor(fields[2]))
+		if err != nil {
+			return err
+		}
+		if len(fields) == 4 {
+			fn, err := parseFn(fields[3])
+			if err != nil {
+				return err
+			}
+			if err := kb.SetFn(id, fn); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "link":
+		if len(fields) != 5 {
+			return fmt.Errorf("link wants <from> <rel> <weight> <to>, got %d operands", len(fields)-1)
+		}
+		from, ok := kb.Lookup(fields[1])
+		if !ok {
+			return fmt.Errorf("unknown node %q", fields[1])
+		}
+		to, ok := kb.Lookup(fields[4])
+		if !ok {
+			return fmt.Errorf("unknown node %q", fields[4])
+		}
+		w, err := strconv.ParseFloat(fields[3], 32)
+		if err != nil {
+			return fmt.Errorf("bad weight %q", fields[3])
+		}
+		return kb.AddLink(from, kb.Relation(fields[2]), float32(w), to)
+	default:
+		return fmt.Errorf("unknown directive %q", fields[0])
+	}
+}
+
+func parseFn(s string) (semnet.FuncCode, error) {
+	switch s {
+	case "nop":
+		return semnet.FuncNop, nil
+	case "add":
+		return semnet.FuncAdd, nil
+	case "min":
+		return semnet.FuncMin, nil
+	case "max":
+		return semnet.FuncMax, nil
+	case "mul":
+		return semnet.FuncMul, nil
+	case "dec":
+		return semnet.FuncDec, nil
+	}
+	return 0, fmt.Errorf("unknown function %q", s)
+}
+
+// Write renders kb in the text format, nodes before links, in ID order.
+// Preprocessor subnodes are skipped: they are regenerated on load.
+func Write(w io.Writer, kb *semnet.KB) error {
+	bw := bufio.NewWriter(w)
+	for id := 0; id < kb.NumNodes(); id++ {
+		n, err := kb.Node(semnet.NodeID(id))
+		if err != nil {
+			return err
+		}
+		if n.IsSubnode() {
+			continue
+		}
+		if n.Fn != semnet.FuncNop {
+			fmt.Fprintf(bw, "node %s %s %s\n", n.Name, kb.ColorName(n.Color), n.Fn)
+		} else {
+			fmt.Fprintf(bw, "node %s %s\n", n.Name, kb.ColorName(n.Color))
+		}
+	}
+	for id := 0; id < kb.NumNodes(); id++ {
+		n, err := kb.Node(semnet.NodeID(id))
+		if err != nil {
+			return err
+		}
+		if n.IsSubnode() {
+			continue
+		}
+		if err := writeLinks(bw, kb, semnet.NodeID(id), n); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// writeLinks emits a node's links, flattening continuation subnodes back
+// into direct links so the file holds the logical network.
+func writeLinks(w io.Writer, kb *semnet.KB, owner semnet.NodeID, n *semnet.Node) error {
+	for _, l := range n.Out {
+		if l.Rel == semnet.RelCont {
+			sub, err := kb.Node(l.To)
+			if err != nil {
+				return err
+			}
+			if err := writeLinks(w, kb, owner, sub); err != nil {
+				return err
+			}
+			continue
+		}
+		fmt.Fprintf(w, "link %s %s %s %s\n",
+			kb.Name(owner), kb.RelationName(l.Rel),
+			strconv.FormatFloat(float64(l.Weight), 'g', -1, 32),
+			kb.Name(kb.Canonical(l.To)))
+	}
+	return nil
+}

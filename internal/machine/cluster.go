@@ -1,0 +1,298 @@
+package machine
+
+import (
+	"snap1/internal/mpmem"
+	"snap1/internal/rules"
+	"snap1/internal/semnet"
+	"snap1/internal/timing"
+)
+
+// cluster is one SNAP-1 multiprocessing cluster: a processing unit (PU)
+// that decodes broadcast instructions, a pool of marker units (MUs) that
+// process markers and search the knowledge base, and a communication unit
+// (CU) that moves marker activations through the interconnect. The three
+// functional-unit classes are modeled by separate virtual clocks; the MU
+// pool is a set of free-at times so intra-cluster task parallelism is
+// captured without simulating each MU as its own goroutine.
+type cluster struct {
+	id    int
+	store *semnet.Store
+
+	// Virtual clocks.
+	puFree timing.Time   // instruction decode pipeline
+	muFree []timing.Time // one free-at time per marker unit
+	cuFree timing.Time   // message (dis)assembly pipeline
+	last   timing.Time   // latest completion seen in this cluster
+
+	// Multiport-memory discipline (exercised by the concurrent engine).
+	arb  *mpmem.Arbiter
+	sems *mpmem.Table
+
+	// Per-propagation-phase state, owned by the cluster's goroutine
+	// during a phase (or by the lockstep engine single-threaded).
+	tasks   []task // min-heap on (ready, seq)
+	taskSeq uint64
+	relayQ  []transitMsg
+	visited map[visitKey]float32
+	stats   phaseStats
+}
+
+// semaphore table entries guarding cluster-shared control state.
+const (
+	semMarkerMem  = iota // marker processing memory allocation
+	semActivation        // marker activation memory allocation
+	numClusterSems
+)
+
+func newCluster(id int, cfg *Config) *cluster {
+	c := &cluster{
+		id:      id,
+		store:   semnet.NewStore(cfg.NodesPerCluster),
+		muFree:  make([]timing.Time, cfg.musOf(id)),
+		visited: make(map[visitKey]float32),
+	}
+	c.arb = mpmem.NewArbiter(cfg.Seed + int64(id))
+	c.sems = mpmem.NewTable(numClusterSems, c.arb)
+	return c
+}
+
+func (c *cluster) resetClocks() {
+	c.puFree, c.cuFree, c.last = 0, 0, 0
+	for i := range c.muFree {
+		c.muFree[i] = 0
+	}
+}
+
+// decode charges the PU pipeline for one broadcast instruction arriving at
+// bAt and returns the time at which marker-unit work may begin.
+func (c *cluster) decode(m *Machine, bAt timing.Time) timing.Time {
+	start := timing.Max(c.puFree, bAt)
+	end := start + m.cost.PECost(m.cost.DecodeCycles+m.cost.EnqueueCycles)
+	c.puFree = end
+	if end > c.last {
+		c.last = end
+	}
+	return end
+}
+
+// muRun schedules one task on the earliest-free marker unit, starting no
+// earlier than ready, and returns its completion time.
+func (c *cluster) muRun(ready, cost timing.Time) timing.Time {
+	best := 0
+	for i, f := range c.muFree {
+		if f < c.muFree[best] {
+			best = i
+		}
+	}
+	start := timing.Max(ready, c.muFree[best])
+	end := start + cost
+	c.muFree[best] = end
+	if end > c.last {
+		c.last = end
+	}
+	return end
+}
+
+// cuRun charges the CU pipeline for one message operation.
+func (c *cluster) cuRun(ready, cost timing.Time) timing.Time {
+	start := timing.Max(c.cuFree, ready)
+	end := start + cost
+	c.cuFree = end
+	if end > c.last {
+		c.last = end
+	}
+	return end
+}
+
+// task is one queued marker-propagation work unit in the cluster's marker
+// processing memory.
+type task struct {
+	local    int32
+	marker   semnet.MarkerID
+	rule     rules.Token
+	state    rules.State
+	fn       semnet.FuncCode
+	value    float32
+	origin   semnet.NodeID
+	level    uint16
+	ready    timing.Time
+	seq      uint64 // heap tie-break: FIFO among equally ready tasks
+	isSource bool   // injected by PROPAGATE issue; does not mark its node
+	fromMsg  bool   // arrived through the ICN; owes a Consumed count
+}
+
+// transitMsg is a message awaiting relay by this cluster's CU.
+type transitMsg struct {
+	msg     interMsg
+	arrival timing.Time
+}
+
+// visitKey identifies one (marker, rule, state, node) propagation visit.
+type visitKey struct {
+	marker semnet.MarkerID
+	rule   rules.Token
+	state  rules.State
+	local  int32
+}
+
+// phaseStats accumulates one cluster's contribution to a phase's
+// measurements; summed by the machine at the barrier.
+type phaseStats struct {
+	steps     int64 // link traversals
+	sends     int64 // inter-cluster activations injected
+	sources   int64 // source activations (α contribution)
+	dropDepth int64 // tasks cut off by the MaxDepth safety net
+	comm      timing.Time
+}
+
+func (c *cluster) resetPhase() {
+	c.tasks = c.tasks[:0]
+	c.taskSeq = 0
+	c.relayQ = c.relayQ[:0]
+	clear(c.visited)
+	c.stats = phaseStats{}
+}
+
+// The task queue is a min-heap on (ready, seq): marker units pull the
+// earliest-available work first, so a late-arriving remote activation
+// cannot head-of-line block tasks that are already runnable (the hardware
+// MUs poll the marker processing memory for ready entries).
+
+func (c *cluster) taskLess(i, j int) bool {
+	a, b := &c.tasks[i], &c.tasks[j]
+	if a.ready != b.ready {
+		return a.ready < b.ready
+	}
+	return a.seq < b.seq
+}
+
+func (c *cluster) pushTask(t task) {
+	t.seq = c.taskSeq
+	c.taskSeq++
+	c.tasks = append(c.tasks, t)
+	// Sift up.
+	for i := len(c.tasks) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !c.taskLess(i, parent) {
+			break
+		}
+		c.tasks[i], c.tasks[parent] = c.tasks[parent], c.tasks[i]
+		i = parent
+	}
+}
+
+func (c *cluster) popTask() (task, bool) {
+	n := len(c.tasks)
+	if n == 0 {
+		return task{}, false
+	}
+	t := c.tasks[0]
+	c.tasks[0] = c.tasks[n-1]
+	c.tasks = c.tasks[:n-1]
+	// Sift down.
+	n--
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && c.taskLess(l, min) {
+			min = l
+		}
+		if r < n && c.taskLess(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		c.tasks[i], c.tasks[min] = c.tasks[min], c.tasks[i]
+		i = min
+	}
+	return t, true
+}
+
+func (c *cluster) pendingTasks() int { return len(c.tasks) }
+
+// childSpec is one propagation step produced by expanding a task.
+type childSpec struct {
+	to    semnet.NodeID
+	state rules.State
+	value float32
+	level uint16
+}
+
+// expand performs the functional half of task processing, shared by both
+// engines: visited/merge bookkeeping, marker status and value-register
+// updates, and the relation-table walk. It returns the children to
+// dispatch and the marker-unit cost of the whole task.
+//
+// Determinism: the value register converges to the Merge over all arriving
+// values regardless of order; a (marker, rule, state, node) key re-expands
+// only when its merged value strictly improves, so binary markers expand
+// exactly once per key and cost markers settle Bellman-Ford style.
+func (c *cluster) expand(m *Machine, t task) (children []childSpec, cost timing.Time) {
+	cm := &m.cost
+	cycles := cm.TaskSwitchCycles
+	rule := m.curRules.Rule(t.rule)
+
+	doExpand := true
+	value := t.value
+	if !t.isSource {
+		cycles += cm.StatusWordCycles // marker status read-modify-write
+		key := visitKey{marker: t.marker, rule: t.rule, state: t.state, local: t.local}
+		if prev, seen := c.visited[key]; seen {
+			merged := t.fn.Merge(prev, t.value)
+			if merged == prev {
+				doExpand = false
+			} else {
+				c.visited[key] = merged
+				value = merged
+			}
+		} else {
+			c.visited[key] = t.value
+		}
+
+		newly := c.store.Set(int(t.local), t.marker)
+		if t.marker.IsComplex() {
+			if newly {
+				c.store.SetValue(int(t.local), t.marker, value, t.origin)
+			} else {
+				old := c.store.Value(int(t.local), t.marker)
+				merged := t.fn.Merge(old, value)
+				if merged != old {
+					c.store.SetValue(int(t.local), t.marker, merged, t.origin)
+				}
+			}
+		}
+	}
+
+	if doExpand && int(t.level) >= m.cfg.MaxDepth {
+		doExpand = false
+		c.stats.dropDepth++
+	}
+	if doExpand && rule != nil && !rule.Terminal(t.state) {
+		links := c.store.Links(int(t.local))
+		cycles += cm.RelSlotCycles * int64(len(links))
+		for _, l := range links {
+			if l.Rel == semnet.RelCont {
+				// Preprocessor continuation: transparent hop — same rule
+				// state, same value, no function application, same tier,
+				// and only a pointer-chase charge.
+				children = append(children, childSpec{to: l.To, state: t.state, value: value, level: t.level})
+				cycles += cm.ContHopCycles
+				continue
+			}
+			next, follow := rule.Next(t.state, l.Rel)
+			if !follow {
+				continue
+			}
+			children = append(children, childSpec{
+				to:    l.To,
+				state: next,
+				value: t.fn.Apply(value, l.Weight),
+				level: t.level + 1,
+			})
+			cycles += cm.PropUpdateCycles
+		}
+		c.stats.steps += int64(len(children))
+	}
+	return children, cm.PECost(cycles)
+}

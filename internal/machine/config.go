@@ -1,0 +1,154 @@
+// Package machine implements the SNAP-1 array machine: 32 multiprocessing
+// clusters (each a processing unit, marker units, and a communication
+// unit), the dual-processor central controller, the global broadcast bus,
+// the 4-ary hypercube interconnect, and the tiered barrier synchronization
+// scheme — executing programs written in the SNAP instruction set over a
+// partitioned semantic network.
+//
+// Two execution engines share identical marker semantics:
+//
+//   - the concurrent engine (default) runs one goroutine per cluster with
+//     real mailbox backpressure and the live termination-detection
+//     protocol, modeling the prototype's MIMD propagation;
+//   - the lockstep engine (Config.Deterministic) processes the same task
+//     causality graph in canonical breadth-first order, giving exactly
+//     reproducible virtual times and message counts for the measurement
+//     harness.
+//
+// Final marker state is identical between engines; virtual times and
+// message counts from the concurrent engine can vary slightly run-to-run
+// with goroutine scheduling, exactly as wall-clock measurements on the
+// hardware did.
+package machine
+
+import (
+	"fmt"
+
+	"snap1/internal/partition"
+	"snap1/internal/perfmon"
+	"snap1/internal/timing"
+)
+
+// Config sizes and parameterizes a machine.
+type Config struct {
+	// Clusters is the array size. The prototype has 32; the paper's
+	// evaluation uses 16.
+	Clusters int
+
+	// MUsPerCluster is the marker-unit count in every cluster;
+	// ExtraMUClusters of the lowest-numbered clusters get one more
+	// (the prototype mixes four- and five-PE clusters).
+	MUsPerCluster   int
+	ExtraMUClusters int
+
+	// NodesPerCluster is each cluster's node-table capacity (1024 in the
+	// prototype, giving the 32K-node knowledge base).
+	NodesPerCluster int
+
+	// MailboxCap bounds each cluster's inbound ICN mailbox region;
+	// senders block beyond it (the burst-absorption limit of Fig. 8).
+	MailboxCap int
+
+	// InstrQueueCap is the PU's circular instruction queue depth — the
+	// maximum window of overlapped instructions ("up to 64 instructions
+	// can be overlapped").
+	InstrQueueCap int
+
+	// MaxDepth bounds propagation path length as a safety net against
+	// pathological rules (the paper's measured maxima are 10-15 steps).
+	MaxDepth int
+
+	// Cost is the calibrated cycle-cost table.
+	Cost timing.CostModel
+
+	// Partition allocates knowledge-base nodes to clusters.
+	Partition partition.Func
+
+	// Seed drives the multiport-memory arbiter's random tie-break.
+	Seed int64
+
+	// Deterministic selects the lockstep measurement engine.
+	Deterministic bool
+
+	// Monitor, when non-nil, receives performance-collection events.
+	Monitor *perfmon.Collector
+}
+
+// DefaultConfig is the full 32-cluster prototype configuration:
+// 16 five-PE clusters and 16 four-PE clusters, 144 PEs total.
+func DefaultConfig() Config {
+	return Config{
+		Clusters:        32,
+		MUsPerCluster:   2,
+		ExtraMUClusters: 16,
+		NodesPerCluster: 1024,
+		MailboxCap:      64,
+		InstrQueueCap:   64,
+		MaxDepth:        256,
+		Cost:            timing.DefaultCostModel(),
+		Partition:       partition.Semantic,
+		Seed:            1,
+	}
+}
+
+// PaperConfig is the evaluation configuration of Section IV: a 16-cluster,
+// 72-processor array (eight five-PE and eight four-PE clusters).
+func PaperConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Clusters = 16
+	cfg.ExtraMUClusters = 8
+	return cfg
+}
+
+// effExtra clamps ExtraMUClusters to the cluster count so configurations
+// scaled down from a larger template stay valid.
+func (c Config) effExtra() int {
+	if c.ExtraMUClusters > c.Clusters {
+		return c.Clusters
+	}
+	return c.ExtraMUClusters
+}
+
+// PEs reports the total processor count: per cluster one PU, one CU, and
+// its marker units.
+func (c Config) PEs() int {
+	return c.Clusters*2 + c.MarkerUnits()
+}
+
+// MarkerUnits reports the array's total MU count (the paper's "80 marker
+// units" for the full configuration).
+func (c Config) MarkerUnits() int {
+	return c.Clusters*c.MUsPerCluster + c.effExtra()
+}
+
+// musOf reports cluster i's marker-unit count.
+func (c Config) musOf(i int) int {
+	n := c.MUsPerCluster
+	if i < c.ExtraMUClusters {
+		n++
+	}
+	return n
+}
+
+// Validate reports the first configuration error.
+func (c Config) Validate() error {
+	switch {
+	case c.Clusters <= 0:
+		return fmt.Errorf("machine: Clusters must be positive, got %d", c.Clusters)
+	case c.MUsPerCluster <= 0:
+		return fmt.Errorf("machine: MUsPerCluster must be positive, got %d", c.MUsPerCluster)
+	case c.ExtraMUClusters < 0:
+		return fmt.Errorf("machine: ExtraMUClusters must be non-negative, got %d", c.ExtraMUClusters)
+	case c.NodesPerCluster <= 0:
+		return fmt.Errorf("machine: NodesPerCluster must be positive, got %d", c.NodesPerCluster)
+	case c.MailboxCap <= 0:
+		return fmt.Errorf("machine: MailboxCap must be positive, got %d", c.MailboxCap)
+	case c.InstrQueueCap <= 0:
+		return fmt.Errorf("machine: InstrQueueCap must be positive, got %d", c.InstrQueueCap)
+	case c.MaxDepth <= 0:
+		return fmt.Errorf("machine: MaxDepth must be positive, got %d", c.MaxDepth)
+	case c.Partition == nil:
+		return fmt.Errorf("machine: Partition function required")
+	}
+	return nil
+}

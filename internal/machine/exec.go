@@ -1,0 +1,326 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"snap1/internal/isa"
+	"snap1/internal/perfmon"
+	"snap1/internal/semnet"
+	"snap1/internal/timing"
+)
+
+// exec runs one non-PROPAGATE instruction. Search, boolean, set/clear and
+// marker-maintenance instructions execute data-parallel across the array
+// (SIMD phase); node maintenance touches the owning cluster; retrieval
+// runs on the controller against each cluster's dual-port memory.
+func (m *Machine) exec(st *runState, idx int, in *isa.Instruction, bAt timing.Time) error {
+	var end timing.Time // exclusive execution time of this instruction
+	var err error
+	switch in.Op {
+	case isa.OpSearchNode:
+		end, err = m.execSearchNode(in, bAt)
+	case isa.OpSearchRelation:
+		end = m.execScan(bAt, func(c *cluster) int64 {
+			var extra int64
+			for local := 0; local < c.store.NumNodes(); local++ {
+				links := c.store.Links(local)
+				extra += m.cost.RelSlotCycles * int64(len(links))
+				for _, l := range links {
+					if l.Rel == in.Rel {
+						c.markSearch(local, in)
+						break
+					}
+				}
+			}
+			return extra
+		})
+	case isa.OpSearchColor:
+		end = m.execScan(bAt, func(c *cluster) int64 {
+			for local := 0; local < c.store.NumNodes(); local++ {
+				if c.store.Color(local) == in.Color {
+					c.markSearch(local, in)
+				}
+			}
+			return m.cost.NodeTestCycles * int64(c.store.NumNodes())
+		})
+	case isa.OpSetMarker:
+		end = m.execScan(bAt, func(c *cluster) int64 {
+			words := c.store.SetAll(in.M1, in.Value)
+			return m.cost.StatusWordCycles * int64(words)
+		})
+	case isa.OpClearMarker:
+		end = m.execScan(bAt, func(c *cluster) int64 {
+			words := c.store.ClearAll(in.M1)
+			return m.cost.StatusWordCycles * int64(words)
+		})
+	case isa.OpFuncMarker:
+		end = m.execScan(bAt, func(c *cluster) int64 {
+			words := c.store.FuncAll(in.M1, in.Fn, in.Value)
+			return m.cost.StatusWordCycles * int64(words)
+		})
+	case isa.OpAndMarker:
+		end = m.execScan(bAt, func(c *cluster) int64 {
+			words := c.store.And(in.M1, in.M2, in.M3, in.Fn)
+			return m.cost.StatusWordCycles * int64(words)
+		})
+	case isa.OpOrMarker:
+		end = m.execScan(bAt, func(c *cluster) int64 {
+			words := c.store.Or(in.M1, in.M2, in.M3, in.Fn)
+			return m.cost.StatusWordCycles * int64(words)
+		})
+	case isa.OpNotMarker:
+		end = m.execNotMarker(in, bAt)
+	case isa.OpMarkerSetColor:
+		end = m.execScan(bAt, func(c *cluster) int64 {
+			var n int64
+			words := c.store.ForEachSet(in.M1, func(local int) {
+				_ = c.store.SetColor(local, in.Color)
+				n++
+			})
+			return m.cost.StatusWordCycles*int64(words) + m.cost.NodeTestCycles*n
+		})
+	case isa.OpCreate:
+		end, err = m.execCreate(in, bAt)
+	case isa.OpDelete:
+		end, err = m.execDelete(in, bAt)
+	case isa.OpSetColor:
+		end, err = m.execSetColor(in, bAt)
+	case isa.OpMarkerCreate, isa.OpMarkerDelete:
+		end, err = m.execMarkerLinks(in, bAt)
+	case isa.OpCollectNode, isa.OpCollectRelation, isa.OpCollectColor:
+		end, err = m.execCollect(st, idx, in, bAt)
+	case isa.OpCommEnd:
+		// The overlap window was already flushed; only the controller's
+		// barrier sampling cost remains.
+		m.ctrl.Tick(m.cost.BarrierBaseCycles)
+		st.prof.Overhead.Synchronization += m.cost.CtrlCost(m.cost.BarrierBaseCycles)
+		end = m.cost.CtrlCost(m.cost.BarrierBaseCycles)
+	default:
+		return fmt.Errorf("machine: opcode %s not executable here", in.Op)
+	}
+	if err != nil {
+		return err
+	}
+	st.prof.Record(in.Op, end)
+	return nil
+}
+
+// markSearch activates a search hit: marker set with the search value.
+func (c *cluster) markSearch(local int, in *isa.Instruction) {
+	c.store.Set(local, in.M1)
+	c.store.SetValue(local, in.M1, in.Value, c.store.Global(local))
+}
+
+// execScan runs a data-parallel sweep on every cluster: PU decode followed
+// by one marker-unit pass whose extra cycle cost the callback reports.
+// It returns the instruction's exclusive execution time — the slowest
+// cluster's decode-plus-sweep cost, excluding any wait for earlier work
+// still occupying the marker units (profiles attribute exclusive time, as
+// the paper's instrumentation does).
+func (m *Machine) execScan(bAt timing.Time, f func(c *cluster) int64) timing.Time {
+	var excl timing.Time
+	decode := m.cost.PECost(m.cost.DecodeCycles + m.cost.EnqueueCycles)
+	for _, c := range m.clusters {
+		ready := c.decode(m, bAt)
+		cycles := f(c)
+		c.muRun(ready, m.cost.PECost(cycles))
+		excl = timing.Max(excl, decode+m.cost.PECost(cycles))
+	}
+	return excl
+}
+
+func (m *Machine) execSearchNode(in *isa.Instruction, bAt timing.Time) (timing.Time, error) {
+	if int(in.Node) >= len(m.assign) {
+		return 0, fmt.Errorf("node %d not in knowledge base", in.Node)
+	}
+	owner := m.assign[in.Node]
+	for _, c := range m.clusters {
+		ready := c.decode(m, bAt)
+		var cycles int64
+		if c.id == owner {
+			cycles = m.cost.NodeTestCycles + m.cost.StatusWordCycles
+			c.markSearch(int(m.localIdx[in.Node]), in)
+		}
+		c.muRun(ready, m.cost.PECost(cycles))
+	}
+	excl := m.cost.PECost(m.cost.DecodeCycles + m.cost.EnqueueCycles +
+		m.cost.NodeTestCycles + m.cost.StatusWordCycles)
+	return excl, nil
+}
+
+func (m *Machine) execNotMarker(in *isa.Instruction, bAt timing.Time) timing.Time {
+	return m.execScan(bAt, func(c *cluster) int64 {
+		words := int64(c.store.Words())
+		if in.Cond == isa.CondNone {
+			c.store.Not(in.M1, in.M2)
+			return m.cost.StatusWordCycles * words
+		}
+		// Value-conditional complement: m2 is set where m1 is clear or
+		// where m1's value fails the condition.
+		var extra int64
+		for local := 0; local < c.store.NumNodes(); local++ {
+			fails := !c.store.Test(local, in.M1) ||
+				!in.Cond.Eval(c.store.Value(local, in.M1), in.Value)
+			if fails {
+				c.store.Set(local, in.M2)
+			} else {
+				c.store.Clear(local, in.M2)
+			}
+			extra += m.cost.NodeTestCycles
+		}
+		return m.cost.StatusWordCycles*words + extra
+	})
+}
+
+func (m *Machine) execCreate(in *isa.Instruction, bAt timing.Time) (timing.Time, error) {
+	if int(in.Node) >= len(m.assign) || int(in.EndNode) >= len(m.assign) {
+		return 0, fmt.Errorf("link %d->%d references missing node", in.Node, in.EndNode)
+	}
+	c := m.clusters[m.assign[in.Node]]
+	l := semnet.Link{Rel: in.Rel, Weight: in.Weight, To: in.EndNode}
+	if err := c.store.AddLink(int(m.localIdx[in.Node]), l); err != nil {
+		return 0, err
+	}
+	if err := m.kb.AddLink(in.Node, in.Rel, in.Weight, in.EndNode); err != nil {
+		return 0, err
+	}
+	ready := c.decode(m, bAt)
+	cycles := m.cost.RelSlotCycles + m.cost.NodeTestCycles
+	c.muRun(ready, m.cost.PECost(cycles))
+	return m.cost.PECost(m.cost.DecodeCycles + m.cost.EnqueueCycles + cycles), nil
+}
+
+func (m *Machine) execDelete(in *isa.Instruction, bAt timing.Time) (timing.Time, error) {
+	if int(in.Node) >= len(m.assign) {
+		return 0, fmt.Errorf("node %d not in knowledge base", in.Node)
+	}
+	c := m.clusters[m.assign[in.Node]]
+	c.store.RemoveLink(int(m.localIdx[in.Node]), in.Rel, in.EndNode)
+	ready := c.decode(m, bAt)
+	cycles := m.cost.RelSlotCycles * semnet.RelationSlots
+	c.muRun(ready, m.cost.PECost(cycles))
+	return m.cost.PECost(m.cost.DecodeCycles + m.cost.EnqueueCycles + cycles), nil
+}
+
+func (m *Machine) execSetColor(in *isa.Instruction, bAt timing.Time) (timing.Time, error) {
+	if int(in.Node) >= len(m.assign) {
+		return 0, fmt.Errorf("node %d not in knowledge base", in.Node)
+	}
+	c := m.clusters[m.assign[in.Node]]
+	if err := c.store.SetColor(int(m.localIdx[in.Node]), in.Color); err != nil {
+		return 0, err
+	}
+	if n, err := m.kb.Node(in.Node); err == nil {
+		n.Color = in.Color
+	}
+	ready := c.decode(m, bAt)
+	c.muRun(ready, m.cost.PECost(m.cost.NodeTestCycles))
+	return m.cost.PECost(m.cost.DecodeCycles + m.cost.EnqueueCycles + m.cost.NodeTestCycles), nil
+}
+
+// execMarkerLinks implements MARKER-CREATE and MARKER-DELETE: every node
+// holding the marker gains (or loses) a forward link to the end node and,
+// optionally, a reverse link from it.
+func (m *Machine) execMarkerLinks(in *isa.Instruction, bAt timing.Time) (timing.Time, error) {
+	if int(in.EndNode) >= len(m.assign) {
+		return 0, fmt.Errorf("end node %d not in knowledge base", in.EndNode)
+	}
+	create := in.Op == isa.OpMarkerCreate
+	endCluster := m.clusters[m.assign[in.EndNode]]
+	var excl timing.Time
+	var firstErr error
+	for _, c := range m.clusters {
+		ready := c.decode(m, bAt)
+		var n int64
+		words := c.store.ForEachSet(in.M1, func(local int) {
+			if firstErr != nil {
+				return
+			}
+			n++
+			node := c.store.Global(local)
+			if create {
+				if err := c.store.AddLink(local, semnet.Link{Rel: in.Rel, Weight: 0, To: in.EndNode}); err != nil {
+					firstErr = err
+					return
+				}
+				m.kb.MustAddLink(node, in.Rel, 0, in.EndNode)
+				if in.HasRev {
+					if err := endCluster.store.AddLink(int(m.localIdx[in.EndNode]), semnet.Link{Rel: in.RevRel, Weight: 0, To: node}); err != nil {
+						firstErr = err
+						return
+					}
+					m.kb.MustAddLink(in.EndNode, in.RevRel, 0, node)
+				}
+			} else {
+				c.store.RemoveLink(local, in.Rel, in.EndNode)
+				if in.HasRev {
+					endCluster.store.RemoveLink(int(m.localIdx[in.EndNode]), in.RevRel, node)
+				}
+			}
+		})
+		cycles := m.cost.StatusWordCycles*int64(words) + 2*m.cost.RelSlotCycles*n
+		c.muRun(ready, m.cost.PECost(cycles))
+		excl = timing.Max(excl, m.cost.PECost(m.cost.DecodeCycles+m.cost.EnqueueCycles+cycles))
+	}
+	return excl, firstErr
+}
+
+// execCollect implements the retrieval group: the controller switches to
+// each cluster's dual-port memory in turn and pulls the matching rows —
+// the cost component that grows proportionally to cluster count (Fig. 21).
+func (m *Machine) execCollect(st *runState, idx int, in *isa.Instruction, bAt timing.Time) (timing.Time, error) {
+	// The controller must see completed array state.
+	m.ctrl.Sync(bAt)
+	for _, c := range m.clusters {
+		m.ctrl.Sync(c.last)
+	}
+	startCtrl := m.ctrl.Now()
+
+	var items []Item
+	for _, c := range m.clusters {
+		m.ctrl.Tick(m.cost.CollectSetupPerCluster)
+		var n int64
+		c.store.ForEachSet(in.M1, func(local int) {
+			node := c.store.Global(local)
+			switch in.Op {
+			case isa.OpCollectNode:
+				items = append(items, Item{
+					Node:   node,
+					Value:  c.store.Value(local, in.M1),
+					Origin: c.store.Origin(local, in.M1),
+					Color:  c.store.Color(local),
+				})
+				n++
+			case isa.OpCollectRelation:
+				for _, l := range c.store.Links(local) {
+					if l.Rel == in.Rel {
+						items = append(items, Item{
+							Node: node, Rel: l.Rel, Weight: l.Weight, To: l.To,
+						})
+						n++
+					}
+				}
+			case isa.OpCollectColor:
+				items = append(items, Item{Node: node, Color: c.store.Color(local)})
+				n++
+			}
+		})
+		m.ctrl.Tick(m.cost.CollectNodeCycles * n)
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Node != items[j].Node {
+			return items[i].Node < items[j].Node
+		}
+		return items[i].To < items[j].To
+	})
+	st.res.Collections = append(st.res.Collections, Collection{Instr: idx, Op: in.Op, Items: items})
+	st.prof.CollectedNodes += int64(len(items))
+
+	end := m.ctrl.Now()
+	st.prof.Overhead.Collection += end - startCtrl
+	if mon := m.cfg.Monitor; mon != nil {
+		mon.Emit(-1, perfmon.EvCollect, uint32(len(items)), end)
+	}
+	return end - startCtrl, nil
+}

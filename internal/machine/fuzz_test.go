@@ -1,0 +1,185 @@
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"snap1/internal/isa"
+	"snap1/internal/partition"
+	"snap1/internal/rules"
+	"snap1/internal/semnet"
+)
+
+// Randomized differential testing: arbitrary programs over arbitrary
+// networks must (a) never error or hang, (b) produce identical marker
+// state and collections on the lockstep and concurrent engines, and
+// (c) produce identical results on repeated lockstep runs.
+
+// randomKB builds a random network with interned relations and colors.
+func randomKB(rng *rand.Rand) (*semnet.KB, []semnet.RelType, []semnet.Color) {
+	kb := semnet.NewKB()
+	nRels := 2 + rng.Intn(3)
+	rels := make([]semnet.RelType, nRels)
+	for i := range rels {
+		rels[i] = kb.Relation(fmt.Sprintf("r%d", i))
+	}
+	nCols := 2 + rng.Intn(3)
+	cols := make([]semnet.Color, nCols)
+	for i := range cols {
+		cols[i] = kb.ColorFor(fmt.Sprintf("col%d", i))
+	}
+	n := 6 + rng.Intn(50)
+	for i := 0; i < n; i++ {
+		kb.MustAddNode(fmt.Sprintf("n%d", i), cols[rng.Intn(nCols)])
+	}
+	for i := 0; i < n*3; i++ {
+		kb.MustAddLink(
+			semnet.NodeID(rng.Intn(n)), rels[rng.Intn(nRels)],
+			float32(rng.Intn(5)), semnet.NodeID(rng.Intn(n)))
+	}
+	return kb, rels, cols
+}
+
+// randomProgram emits a random but valid instruction stream. Propagation
+// uses order-free functions (nop/min/max are commutative-idempotent;
+// add settles to min-merge) so engine comparison is exact.
+func randomProgram(rng *rand.Rand, kb *semnet.KB, rels []semnet.RelType, cols []semnet.Color) *isa.Program {
+	p := isa.NewProgram()
+	mk := func() semnet.MarkerID { return semnet.MarkerID(rng.Intn(semnet.NumMarkers)) }
+	fns := []semnet.FuncCode{semnet.FuncNop, semnet.FuncAdd, semnet.FuncMin, semnet.FuncMax}
+	fn := func() semnet.FuncCode { return fns[rng.Intn(len(fns))] }
+	rel := func() semnet.RelType { return rels[rng.Intn(len(rels))] }
+	spec := func() rules.Spec {
+		switch rng.Intn(5) {
+		case 0:
+			return rules.Step(rel())
+		case 1:
+			return rules.Path(rel())
+		case 2:
+			return rules.Spread(rel(), rel())
+		case 3:
+			return rules.Seq(rel(), rel())
+		default:
+			return rules.Comb(rel(), rel())
+		}
+	}
+	node := func() semnet.NodeID { return semnet.NodeID(rng.Intn(kb.NumNodes())) }
+
+	steps := 5 + rng.Intn(25)
+	for i := 0; i < steps; i++ {
+		switch rng.Intn(12) {
+		case 0:
+			p.SearchNode(node(), mk(), float32(rng.Intn(8)))
+		case 1:
+			p.SearchRelation(rel(), mk(), float32(rng.Intn(8)))
+		case 2:
+			p.SearchColor(cols[rng.Intn(len(cols))], mk(), float32(rng.Intn(8)))
+		case 3, 4, 5:
+			p.Propagate(mk(), mk(), spec(), fn())
+		case 6:
+			p.And(mk(), mk(), mk(), fn())
+		case 7:
+			p.Or(mk(), mk(), mk(), fn())
+		case 8:
+			p.Not(mk(), mk(), float32(rng.Intn(8)), isa.Condition(rng.Intn(7)))
+		case 9:
+			p.Set(mk(), float32(rng.Intn(8)))
+		case 10:
+			p.ClearM(mk())
+		default:
+			p.Barrier()
+		}
+	}
+	p.CollectNode(semnet.MarkerID(rng.Intn(semnet.NumMarkers)))
+	return p
+}
+
+type machineState struct {
+	markers     map[string]float32
+	collections []string
+}
+
+func runProgram(t *testing.T, kb *semnet.KB, p *isa.Program, det bool, clusters int, seed int64) machineState {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Clusters = clusters
+	cfg.NodesPerCluster = kb.NumNodes() + 32
+	cfg.Deterministic = det
+	cfg.Partition = partition.RoundRobin
+	cfg.Seed = seed
+	cfg.MaxDepth = 32
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadKB(kb); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(p)
+	if err != nil {
+		t.Fatalf("det=%v: %v", det, err)
+	}
+	st := machineState{markers: make(map[string]float32)}
+	for id := 0; id < kb.NumNodes(); id++ {
+		for mk := 0; mk < semnet.NumMarkers; mk++ {
+			if m.TestMarker(semnet.NodeID(id), semnet.MarkerID(mk)) {
+				key := fmt.Sprintf("%d/%d", id, mk)
+				st.markers[key] = m.MarkerValue(semnet.NodeID(id), semnet.MarkerID(mk))
+			}
+		}
+	}
+	for _, c := range res.Collections {
+		for _, it := range c.Items {
+			st.collections = append(st.collections,
+				fmt.Sprintf("%d:%d=%v", c.Instr, it.Node, it.Value))
+		}
+	}
+	return st
+}
+
+func diffStates(t *testing.T, trial int, a, b machineState, what string) {
+	t.Helper()
+	if len(a.markers) != len(b.markers) {
+		t.Fatalf("trial %d (%s): %d vs %d set markers", trial, what, len(a.markers), len(b.markers))
+	}
+	for k, v := range a.markers {
+		if b.markers[k] != v {
+			t.Fatalf("trial %d (%s): marker %s: %v vs %v", trial, what, k, v, b.markers[k])
+		}
+	}
+	if len(a.collections) != len(b.collections) {
+		t.Fatalf("trial %d (%s): collection sizes differ", trial, what)
+	}
+	for i := range a.collections {
+		if a.collections[i] != b.collections[i] {
+			t.Fatalf("trial %d (%s): collection row %d: %s vs %s",
+				trial, what, i, a.collections[i], b.collections[i])
+		}
+	}
+}
+
+func TestRandomProgramsEngineEquivalence(t *testing.T) {
+	trials := 20
+	if testing.Short() {
+		trials = 5
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		kb, rels, cols := randomKB(rng)
+		p := randomProgram(rng, kb, rels, cols)
+		clusters := 1 + rng.Intn(8)
+
+		lock := runProgram(t, kb, p, true, clusters, 1)
+		conc := runProgram(t, kb, p, false, clusters, 1)
+		diffStates(t, trial, lock, conc, "lockstep vs concurrent")
+
+		// Lockstep re-runs reproduce exactly.
+		lock2 := runProgram(t, kb, p, true, clusters, 2)
+		diffStates(t, trial, lock, lock2, "lockstep repeat")
+
+		// Cluster count must not change functional results.
+		other := runProgram(t, kb, p, true, clusters%8+1, 1)
+		diffStates(t, trial, lock, other, "cluster-count invariance")
+	}
+}

@@ -1,0 +1,295 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"snap1/internal/barrier"
+	"snap1/internal/icn"
+	"snap1/internal/isa"
+	"snap1/internal/partition"
+	"snap1/internal/rules"
+	"snap1/internal/semnet"
+	"snap1/internal/timing"
+	"snap1/internal/trace"
+)
+
+// Machine is one SNAP-1 system instance: the cluster array, interconnect,
+// barrier hardware, and central controller, with a loaded knowledge base.
+type Machine struct {
+	cfg  Config
+	cost timing.CostModel
+
+	kb       *semnet.KB
+	assign   partition.Assignment
+	localIdx []int32
+
+	clusters []*cluster
+	net      *icn.Network
+	bar      *barrier.Tiered
+	ctrl     *timing.Clock
+
+	curRules *rules.Table // rule microcode for the program being run
+}
+
+// New constructs a machine from cfg. A knowledge base must be loaded with
+// LoadKB before programs can run.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:  cfg,
+		cost: cfg.Cost,
+		net:  icn.New(cfg.Clusters, cfg.MailboxCap),
+		bar:  barrier.New(cfg.Clusters),
+		ctrl: timing.NewClock(timing.ControllerClock),
+	}
+	m.clusters = make([]*cluster, cfg.Clusters)
+	for i := range m.clusters {
+		m.clusters[i] = newCluster(i, &cfg)
+	}
+	return m, nil
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// KB returns the loaded knowledge base (nil before LoadKB).
+func (m *Machine) KB() *semnet.KB { return m.kb }
+
+// LoadKB partitions and downloads a knowledge base into the array: the
+// preprocessor splits over-fanout nodes, the partition function assigns
+// nodes to clusters, and each cluster's three tables are filled.
+// Any previously loaded network and all marker state are discarded.
+func (m *Machine) LoadKB(kb *semnet.KB) error {
+	kb.Preprocess()
+	if err := kb.Validate(); err != nil {
+		return err
+	}
+	assign, err := m.cfg.Partition(kb, m.cfg.Clusters, m.cfg.NodesPerCluster)
+	if err != nil {
+		return err
+	}
+	n := kb.NumNodes()
+	localIdx := make([]int32, n)
+	clusters := make([]*cluster, m.cfg.Clusters)
+	for i := range clusters {
+		clusters[i] = newCluster(i, &m.cfg)
+	}
+	for id := 0; id < n; id++ {
+		node, err := kb.Node(semnet.NodeID(id))
+		if err != nil {
+			return err
+		}
+		c := clusters[assign[id]]
+		local, err := c.store.AddNode(semnet.NodeID(id), node.Color, node.Fn)
+		if err != nil {
+			return fmt.Errorf("cluster %d: %w", assign[id], err)
+		}
+		localIdx[id] = int32(local)
+	}
+	for id := 0; id < n; id++ {
+		node, _ := kb.Node(semnet.NodeID(id))
+		c := clusters[assign[id]]
+		if err := c.store.SetLinks(int(localIdx[id]), node.Out); err != nil {
+			return err
+		}
+	}
+	m.kb, m.assign, m.localIdx, m.clusters = kb, assign, localIdx, clusters
+	return nil
+}
+
+// Item is one retrieved result row. Fields beyond Node are populated
+// according to the collecting opcode.
+type Item struct {
+	Node   semnet.NodeID
+	Value  float32
+	Origin semnet.NodeID
+	Color  semnet.Color
+	Rel    semnet.RelType
+	Weight float32
+	To     semnet.NodeID
+}
+
+// Collection is the result of one retrieval instruction.
+type Collection struct {
+	Instr int // index into the program's instruction stream
+	Op    isa.Opcode
+	Items []Item
+}
+
+// Result is one program run's outcome: total simulated time, the
+// instrumentation profile, and every retrieval instruction's rows.
+type Result struct {
+	Time        timing.Time
+	Profile     *trace.Profile
+	Collections []Collection
+
+	kb *semnet.KB
+}
+
+// Collected returns the items of the i'th retrieval instruction executed
+// (in program order), or nil when fewer collections ran.
+func (r *Result) Collected(i int) []Item {
+	if i < 0 || i >= len(r.Collections) {
+		return nil
+	}
+	return r.Collections[i].Items
+}
+
+// Names resolves a collection's items to sorted canonical concept names.
+func (r *Result) Names(i int) []string {
+	items := r.Collected(i)
+	ids := make([]semnet.NodeID, len(items))
+	for j, it := range items {
+		ids[j] = it.Node
+	}
+	return r.kb.Names(ids)
+}
+
+// ErrNoKB is returned by Run before a knowledge base is loaded.
+var ErrNoKB = errors.New("machine: no knowledge base loaded")
+
+// Run executes a SNAP program to completion and returns its result.
+// Marker state persists across runs (load-then-query programming); use
+// ClearMarkers between independent experiments.
+func (m *Machine) Run(prog *isa.Program) (*Result, error) {
+	if m.kb == nil {
+		return nil, ErrNoKB
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	m.resetClocks()
+	m.curRules = prog.Rules
+	st := &runState{
+		prof: &trace.Profile{},
+		res:  &Result{kb: m.kb},
+	}
+	for i := range prog.Instrs {
+		in := &prog.Instrs[i]
+		m.broadcast(st)
+		bAt := m.ctrl.Now()
+		if in.Op == isa.OpPropagate {
+			if len(st.batch) >= m.cfg.InstrQueueCap || st.conflicts(in) {
+				m.flush(st)
+			}
+			st.push(i, in, bAt)
+			continue
+		}
+		if in.Serializing() || st.conflicts(in) {
+			m.flush(st)
+			bAt = timing.Max(bAt, m.ctrl.Now())
+		}
+		if err := m.exec(st, i, in, bAt); err != nil {
+			return nil, fmt.Errorf("instruction %d (%s): %w", i, in.Op, err)
+		}
+	}
+	m.flush(st)
+
+	end := m.ctrl.Now()
+	for _, c := range m.clusters {
+		end = timing.Max(end, c.last)
+	}
+	st.prof.Elapsed = end
+	st.res.Time = end
+	st.res.Profile = st.prof
+	return st.res, nil
+}
+
+// broadcast accounts one instruction's controller pipeline and global-bus
+// time (PCP issue, SCP broadcast).
+func (m *Machine) broadcast(st *runState) {
+	cycles := m.cost.IssueCycles + m.cost.BroadcastCycles
+	m.ctrl.Tick(cycles)
+	st.prof.Overhead.Broadcast += m.cost.CtrlCost(cycles)
+}
+
+func (m *Machine) resetClocks() {
+	m.ctrl.Reset()
+	for _, c := range m.clusters {
+		c.resetClocks()
+	}
+	m.net.ResetStats()
+}
+
+// runState is the per-Run controller state: the instrumentation profile,
+// accumulated results, and the PU overlap window of pending PROPAGATEs.
+type runState struct {
+	prof *trace.Profile
+	res  *Result
+
+	batch          []batchEntry
+	batchR, batchW isa.MarkerSet
+}
+
+type batchEntry struct {
+	idx int
+	in  *isa.Instruction
+	bAt timing.Time
+}
+
+func (st *runState) push(idx int, in *isa.Instruction, bAt timing.Time) {
+	st.batch = append(st.batch, batchEntry{idx: idx, in: in, bAt: bAt})
+	st.batchR = st.batchR.Union(in.Reads())
+	st.batchW = st.batchW.Union(in.Writes())
+}
+
+// conflicts reports whether in has a marker data dependency with the
+// pending overlap window.
+func (st *runState) conflicts(in *isa.Instruction) bool {
+	if len(st.batch) == 0 {
+		return false
+	}
+	w := in.Writes()
+	return w.Intersects(st.batchR) || w.Intersects(st.batchW) ||
+		in.Reads().Intersects(st.batchW)
+}
+
+// ClearMarkers clears every marker at every node (between experiments).
+func (m *Machine) ClearMarkers() {
+	for _, c := range m.clusters {
+		for mk := 0; mk < semnet.NumMarkers; mk++ {
+			c.store.ClearAll(semnet.MarkerID(mk))
+		}
+	}
+}
+
+// TestMarker reports whether marker mk is set at global node id.
+func (m *Machine) TestMarker(id semnet.NodeID, mk semnet.MarkerID) bool {
+	c := m.clusters[m.assign[id]]
+	return c.store.Test(int(m.localIdx[id]), mk)
+}
+
+// MarkerValue reads the complex-marker value register at global node id.
+func (m *Machine) MarkerValue(id semnet.NodeID, mk semnet.MarkerID) float32 {
+	c := m.clusters[m.assign[id]]
+	return c.store.Value(int(m.localIdx[id]), mk)
+}
+
+// MarkerOrigin reads the complex-marker origin register at global node id.
+func (m *Machine) MarkerOrigin(id semnet.NodeID, mk semnet.MarkerID) semnet.NodeID {
+	c := m.clusters[m.assign[id]]
+	return c.store.Origin(int(m.localIdx[id]), mk)
+}
+
+// MarkerCount reports how many nodes array-wide have mk set.
+func (m *Machine) MarkerCount(mk semnet.MarkerID) int {
+	n := 0
+	for _, c := range m.clusters {
+		n += c.store.CountSet(mk)
+	}
+	return n
+}
+
+// ClusterOf reports the cluster holding global node id.
+func (m *Machine) ClusterOf(id semnet.NodeID) int { return m.assign[id] }
+
+// LinksOf returns a copy of the relation-table entries currently stored
+// for global node id (inspection / test support).
+func (m *Machine) LinksOf(id semnet.NodeID) []semnet.Link {
+	c := m.clusters[m.assign[id]]
+	links := c.store.Links(int(m.localIdx[id]))
+	return append([]semnet.Link(nil), links...)
+}

@@ -1,0 +1,374 @@
+package machine
+
+import (
+	"runtime"
+	"sync"
+
+	"snap1/internal/barrier"
+	"snap1/internal/icn"
+	"snap1/internal/isa"
+	"snap1/internal/perfmon"
+	"snap1/internal/timing"
+)
+
+// interMsg is the inter-cluster marker activation message.
+type interMsg = icn.Message
+
+// flush launches the pending overlap window of PROPAGATE instructions as
+// one MIMD phase, runs it to termination, and accounts the barrier.
+func (m *Machine) flush(st *runState) {
+	if len(st.batch) == 0 {
+		return
+	}
+	var (
+		bstats barrier.Stats
+		agg    phaseStats
+		end    timing.Time
+	)
+	if m.cfg.Deterministic {
+		bstats, agg, end = m.runPhaseLockstep(st.batch)
+	} else {
+		bstats, agg, end = m.runPhaseConcurrent(st.batch)
+	}
+
+	// Tiered synchronization: the SCP samples the AND-tree and reconciles
+	// the per-level counter sums — cost grows (weakly) with cluster count
+	// and tier depth, the Fig. 21 barrier component.
+	syncCycles := m.cost.BarrierBaseCycles +
+		m.cost.BarrierPerClusterCycles*int64(m.cfg.Clusters) +
+		m.cost.BarrierPerLevelCycles*int64(bstats.Levels)
+	m.ctrl.Sync(end)
+	m.ctrl.Tick(syncCycles)
+
+	st.prof.Overhead.Synchronization += m.cost.CtrlCost(syncCycles)
+	st.prof.Overhead.Communication += agg.comm
+	st.prof.AddBarrier(bstats)
+	st.prof.PropSteps += agg.steps
+	st.prof.PropInstrs += int64(len(st.batch))
+
+	// Attribute the phase duration across the overlapped PROPAGATEs.
+	dur := m.ctrl.Now() - st.batch[0].bAt
+	st.prof.PhaseDurations = append(st.prof.PhaseDurations, dur)
+	st.prof.PhaseBetas = append(st.prof.PhaseBetas, len(st.batch))
+	share := timing.Time(int64(dur) / int64(len(st.batch)))
+	for range st.batch {
+		st.prof.Record(isa.OpPropagate, share)
+	}
+	if mon := m.cfg.Monitor; mon != nil {
+		mon.Emit(-1, perfmon.EvBarrierDone, uint32(bstats.Messages), m.ctrl.Now())
+	}
+
+	st.batch = st.batch[:0]
+	st.batchR, st.batchW = isa.MarkerSet{}, isa.MarkerSet{}
+}
+
+// ---------------------------------------------------------------------
+// Concurrent engine: one goroutine per cluster, real mailboxes, live
+// termination detection.
+// ---------------------------------------------------------------------
+
+func (m *Machine) runPhaseConcurrent(entries []batchEntry) (barrier.Stats, phaseStats, timing.Time) {
+	m.bar.Reset()
+	for _, c := range m.clusters {
+		c.resetPhase()
+	}
+	var wg sync.WaitGroup
+	for _, c := range m.clusters {
+		wg.Add(1)
+		go func(c *cluster) {
+			defer wg.Done()
+			c.phaseLoop(m, entries)
+		}(c)
+	}
+	bstats := m.bar.WaitGlobal()
+	wg.Wait()
+
+	var agg phaseStats
+	var end timing.Time
+	for _, c := range m.clusters {
+		agg.add(&c.stats)
+		end = timing.Max(end, c.last)
+	}
+	return bstats, agg, end
+}
+
+func (s *phaseStats) add(o *phaseStats) {
+	s.steps += o.steps
+	s.sends += o.sends
+	s.sources += o.sources
+	s.dropDepth += o.dropDepth
+	s.comm += o.comm
+}
+
+// phaseLoop is one cluster's MIMD propagation loop: drain the mailbox,
+// relay transit messages, process local tasks, and participate in the
+// tiered termination-detection protocol when quiescent.
+func (c *cluster) phaseLoop(m *Machine, entries []batchEntry) {
+	c.injectSources(m, entries)
+	for {
+		worked := false
+		for {
+			msg, ok := m.net.TryRecv(c.id)
+			if !ok {
+				break
+			}
+			c.acceptMsg(m, msg)
+			worked = true
+		}
+		if len(c.relayQ) > 0 {
+			tm := c.relayQ[0]
+			c.relayQ = c.relayQ[1:]
+			c.relay(m, tm)
+			continue
+		}
+		if t, ok := c.popTask(); ok {
+			c.processTaskConcurrent(m, t)
+			continue
+		}
+		if worked {
+			continue
+		}
+		// Quiescence candidacy: sample the wake sequence before the final
+		// emptiness check so an arriving message cannot be lost.
+		seq := m.bar.WakeSeq(c.id)
+		if m.net.Pending(c.id) > 0 || c.pendingTasks() > 0 || len(c.relayQ) > 0 {
+			continue
+		}
+		if m.bar.WaitQuiescent(c.id, seq) {
+			return
+		}
+	}
+}
+
+// injectSources scans marker-1 of every PROPAGATE in the overlap window
+// over this cluster's partition and queues the source tasks.
+func (c *cluster) injectSources(m *Machine, entries []batchEntry) {
+	for _, e := range entries {
+		in := e.in
+		ready := c.decode(m, e.bAt)
+		scanCost := m.cost.PECost(m.cost.StatusWordCycles * int64(c.store.Words()))
+		scanEnd := c.muRun(ready, scanCost)
+		c.store.ForEachSet(in.M1, func(local int) {
+			var val float32
+			if in.M1.IsComplex() {
+				val = c.store.Value(local, in.M1)
+			}
+			c.pushTask(task{
+				local:    int32(local),
+				marker:   in.M2,
+				rule:     in.Rule,
+				fn:       in.Fn,
+				value:    val,
+				origin:   c.store.Global(local),
+				ready:    scanEnd,
+				isSource: true,
+			})
+			c.stats.sources++
+		})
+	}
+}
+
+// acceptMsg disassembles an inbound message: transit messages queue for
+// relay, terminal messages become local tasks.
+func (c *cluster) acceptMsg(m *Machine, msg interMsg) {
+	arrival := msg.SendTime + m.cost.HopLatency
+	if int(msg.DestCluster) != c.id {
+		c.relayQ = append(c.relayQ, transitMsg{msg: msg, arrival: arrival})
+		return
+	}
+	asm := m.cost.PECost(m.cost.MsgAssembleCycles)
+	end := c.cuRun(arrival, asm)
+	c.stats.comm += m.cost.HopLatency + asm
+	c.pushTask(task{
+		local:   m.localIdx[msg.Dest],
+		marker:  msg.Marker,
+		rule:    msg.Rule,
+		state:   msg.State,
+		fn:      msg.Fn,
+		value:   msg.Value,
+		origin:  msg.Origin,
+		level:   msg.Level,
+		ready:   end,
+		fromMsg: true,
+	})
+	if mon := m.cfg.Monitor; mon != nil {
+		mon.Emit(c.id, perfmon.EvMsgRecv, uint32(msg.Level), end)
+	}
+}
+
+// relay forwards a transit message one digit-correction closer to its
+// destination cluster.
+func (c *cluster) relay(m *Machine, tm transitMsg) {
+	asm := m.cost.PECost(m.cost.MsgAssembleCycles)
+	end := c.cuRun(tm.arrival, asm)
+	c.stats.comm += m.cost.HopLatency + asm
+	msg := tm.msg
+	msg.SendTime = end
+	c.xmit(m, msg, true)
+}
+
+// xmit injects or forwards a message with backpressure: while the next-hop
+// mailbox region is full, the cluster services its own mailbox so the
+// array cannot deadlock on mutually full buffers.
+func (c *cluster) xmit(m *Machine, msg interMsg, forward bool) {
+	next := m.net.NextHop(c.id, int(msg.DestCluster))
+	for {
+		var ok bool
+		if forward {
+			ok = m.net.TryForward(c.id, msg)
+		} else {
+			ok = m.net.TrySend(c.id, msg)
+		}
+		if ok {
+			m.bar.Wake(next)
+			return
+		}
+		if in, got := m.net.TryRecv(c.id); got {
+			c.acceptMsg(m, in)
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+// processTaskConcurrent runs one task: expansion on a marker unit, local
+// children into the task queue, remote children through the CU and ICN.
+func (c *cluster) processTaskConcurrent(m *Machine, t task) {
+	children, cost := c.expand(m, t)
+	end := c.muRun(t.ready, cost)
+	for _, ch := range children {
+		dest := m.assign[ch.to]
+		if dest == c.id {
+			c.pushTask(task{
+				local:  m.localIdx[ch.to],
+				marker: t.marker,
+				rule:   t.rule,
+				state:  ch.state,
+				fn:     t.fn,
+				value:  ch.value,
+				origin: t.origin,
+				level:  ch.level,
+				ready:  end,
+			})
+			continue
+		}
+		// MU hands the activation to the CU through the arbitrated
+		// marker activation memory, then the CU assembles and injects.
+		c.sems.Lock(semActivation)
+		c.sems.Unlock(semActivation)
+		cuCycles := m.cost.MsgAssembleCycles + m.cost.MailboxEnqueueCycles + m.cost.ArbiterGrantCycles
+		sendEnd := c.cuRun(end, m.cost.PECost(cuCycles))
+		c.stats.sends++
+		c.stats.comm += m.cost.PECost(cuCycles)
+		m.bar.Created(int(ch.level))
+		c.xmit(m, interMsg{
+			Marker:      t.marker,
+			Value:       ch.value,
+			Fn:          t.fn,
+			Dest:        ch.to,
+			Origin:      t.origin,
+			Rule:        t.rule,
+			State:       ch.state,
+			DestCluster: uint8(dest),
+			Level:       ch.level,
+			SendTime:    sendEnd,
+		}, false)
+		if mon := m.cfg.Monitor; mon != nil {
+			mon.Emit(c.id, perfmon.EvMsgSend, uint32(dest), sendEnd)
+		}
+	}
+	if t.fromMsg {
+		m.bar.Consumed(int(t.level))
+	}
+}
+
+// ---------------------------------------------------------------------
+// Lockstep engine: the same task causality graph processed in canonical
+// order for exactly reproducible measurements.
+// ---------------------------------------------------------------------
+
+func (m *Machine) runPhaseLockstep(entries []batchEntry) (barrier.Stats, phaseStats, timing.Time) {
+	for _, c := range m.clusters {
+		c.resetPhase()
+	}
+	for _, c := range m.clusters {
+		c.injectSources(m, entries)
+	}
+
+	var perLevel []int64
+	var total int64
+	pending := true
+	for pending {
+		pending = false
+		for _, c := range m.clusters {
+			for {
+				t, ok := c.popTask()
+				if !ok {
+					break
+				}
+				pending = true
+				m.lockstepTask(c, t, &perLevel, &total)
+			}
+		}
+	}
+
+	var agg phaseStats
+	var end timing.Time
+	for _, c := range m.clusters {
+		agg.add(&c.stats)
+		end = timing.Max(end, c.last)
+	}
+	return barrier.Stats{Messages: total, Levels: len(perLevel), PerLevel: perLevel}, agg, end
+}
+
+// lockstepTask processes one task, delivering remote children immediately
+// with deterministic per-hop relay accounting (a fixed disassemble/
+// reassemble charge per intermediate hop instead of live CU contention).
+func (m *Machine) lockstepTask(c *cluster, t task, perLevel *[]int64, total *int64) {
+	children, cost := c.expand(m, t)
+	end := c.muRun(t.ready, cost)
+	asm := m.cost.PECost(m.cost.MsgAssembleCycles)
+	for _, ch := range children {
+		dest := m.assign[ch.to]
+		if dest == c.id {
+			c.pushTask(task{
+				local:  m.localIdx[ch.to],
+				marker: t.marker,
+				rule:   t.rule,
+				state:  ch.state,
+				fn:     t.fn,
+				value:  ch.value,
+				origin: t.origin,
+				level:  ch.level,
+				ready:  end,
+			})
+			continue
+		}
+		cuCycles := m.cost.MsgAssembleCycles + m.cost.MailboxEnqueueCycles + m.cost.ArbiterGrantCycles
+		sendEnd := c.cuRun(end, m.cost.PECost(cuCycles))
+		hops := m.net.Hops(c.id, dest)
+		transit := timing.Time(hops)*m.cost.HopLatency + timing.Time(hops-1)*asm
+		dc := m.clusters[dest]
+		ready := dc.cuRun(sendEnd+transit, asm)
+
+		c.stats.sends++
+		c.stats.comm += m.cost.PECost(cuCycles) + transit + asm
+		*total++
+		for len(*perLevel) <= int(ch.level) {
+			*perLevel = append(*perLevel, 0)
+		}
+		(*perLevel)[ch.level]++
+
+		dc.pushTask(task{
+			local:  m.localIdx[ch.to],
+			marker: t.marker,
+			rule:   t.rule,
+			state:  ch.state,
+			fn:     t.fn,
+			value:  ch.value,
+			origin: t.origin,
+			level:  ch.level,
+			ready:  ready,
+		})
+	}
+}

@@ -1,0 +1,289 @@
+// Package mpmem models SNAP-1's multiport memory fabric: IDT four-port
+// SRAMs with concurrent-read-exclusive-write (CREW) access, the cluster
+// arbiter and semaphore table that regulate type-1 (shared variable)
+// traffic, and the single-writer/single-reader queue regions used for
+// type-2 (PU→MU microinstruction) and type-3 (MU→CU activation) traffic.
+//
+// The hardware's properties that matter to the architecture are
+// reproduced: reads never contend, writes to shared control state go
+// through an arbitrated semaphore table, and queue regions have small
+// bounded capacities so senders block when a marker burst exceeds the
+// buffering the interconnect can absorb (the Fig. 8 discussion).
+package mpmem
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// NumPorts is the port count of one four-port memory.
+const NumPorts = 4
+
+// Arbiter grants mutually exclusive access to a semaphore table. Requests
+// are served first-come-first-served; requests that arrive while no grant
+// is outstanding and race each other are resolved by randomly assigned
+// priority, as the paper's programmable-array-logic arbiter does.
+type Arbiter struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	busy    bool
+	waiters []chan struct{}
+
+	grants    int64
+	contended int64
+}
+
+// NewArbiter returns an arbiter whose simultaneous-request tie-break is
+// driven by the given seed, keeping contention behaviour reproducible.
+func NewArbiter(seed int64) *Arbiter {
+	return &Arbiter{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Acquire blocks until the arbiter grants exclusive access.
+func (a *Arbiter) Acquire() {
+	a.mu.Lock()
+	if !a.busy {
+		a.busy = true
+		a.grants++
+		a.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	// Random insertion position models the random priority assignment
+	// among requests pending at grant time.
+	i := 0
+	if n := len(a.waiters); n > 0 {
+		i = a.rng.Intn(n + 1)
+	}
+	a.waiters = append(a.waiters, nil)
+	copy(a.waiters[i+1:], a.waiters[i:])
+	a.waiters[i] = ch
+	a.contended++
+	a.mu.Unlock()
+	<-ch
+}
+
+// Release returns the grant, waking one waiter if any.
+func (a *Arbiter) Release() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.busy {
+		panic("mpmem: Release without Acquire")
+	}
+	if len(a.waiters) == 0 {
+		a.busy = false
+		return
+	}
+	ch := a.waiters[0]
+	a.waiters = a.waiters[1:]
+	a.grants++
+	close(ch)
+}
+
+// Stats reports total grants and how many were contended.
+func (a *Arbiter) Stats() (grants, contended int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.grants, a.contended
+}
+
+// SemaphoreTable is the arbitrated in-use flag table protecting critical
+// sections within a cluster. Because multiport memories allow concurrent
+// reads, a plain test-and-set is insufficient (both readers of the flag
+// would claim ownership); every flag update goes through the arbiter.
+type Table struct {
+	arb   *Arbiter
+	mu    sync.Mutex
+	inUse []bool
+	conds []*sync.Cond
+}
+
+// NewTable returns a semaphore table with n flags sharing one arbiter.
+func NewTable(n int, arb *Arbiter) *Table {
+	t := &Table{arb: arb, inUse: make([]bool, n), conds: make([]*sync.Cond, n)}
+	for i := range t.conds {
+		t.conds[i] = sync.NewCond(&t.mu)
+	}
+	return t
+}
+
+// Lock enters critical section sem, blocking while it is held.
+func (t *Table) Lock(sem int) {
+	for {
+		t.arb.Acquire()
+		t.mu.Lock()
+		if !t.inUse[sem] {
+			t.inUse[sem] = true
+			t.mu.Unlock()
+			t.arb.Release()
+			return
+		}
+		// Flag is held: relinquish the table and wait for the holder.
+		t.arb.Release()
+		t.conds[sem].Wait()
+		t.mu.Unlock()
+	}
+}
+
+// TryLock attempts to enter critical section sem without blocking on the
+// in-use flag (the arbiter round-trip still occurs).
+func (t *Table) TryLock(sem int) bool {
+	t.arb.Acquire()
+	defer t.arb.Release()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.inUse[sem] {
+		return false
+	}
+	t.inUse[sem] = true
+	return true
+}
+
+// Unlock leaves critical section sem.
+func (t *Table) Unlock(sem int) {
+	t.arb.Acquire()
+	t.mu.Lock()
+	if !t.inUse[sem] {
+		t.mu.Unlock()
+		t.arb.Release()
+		panic(fmt.Sprintf("mpmem: Unlock of free semaphore %d", sem))
+	}
+	t.inUse[sem] = false
+	t.conds[sem].Signal()
+	t.mu.Unlock()
+	t.arb.Release()
+}
+
+// Queue is a bounded queue region of a multiport memory. It is safe for
+// any number of producer and consumer goroutines; within a SNAP-1 cluster
+// the memory map dedicates each region to a single writer and single
+// reader so no arbitration is required for type-2/3 traffic.
+type Queue[T any] struct {
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	notFull  *sync.Cond
+	buf      []T
+	head     int
+	n        int
+	closed   bool
+
+	puts        int64
+	gets        int64
+	blockedPuts int64
+	highWater   int
+}
+
+// NewQueue returns a queue region holding at most capacity entries.
+func NewQueue[T any](capacity int) *Queue[T] {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	q := &Queue[T]{buf: make([]T, capacity)}
+	q.notEmpty = sync.NewCond(&q.mu)
+	q.notFull = sync.NewCond(&q.mu)
+	return q
+}
+
+// Put enqueues v, blocking while the region is full (the sending processor
+// is blocked when a burst exceeds buffering capacity). It reports false if
+// the queue was closed.
+func (q *Queue[T]) Put(v T) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == len(q.buf) && !q.closed {
+		q.blockedPuts++
+		q.notFull.Wait()
+	}
+	if q.closed {
+		return false
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.n++
+	q.puts++
+	if q.n > q.highWater {
+		q.highWater = q.n
+	}
+	q.notEmpty.Signal()
+	return true
+}
+
+// TryPut enqueues v only if space is available.
+func (q *Queue[T]) TryPut(v T) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.n == len(q.buf) {
+		return false
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.n++
+	q.puts++
+	if q.n > q.highWater {
+		q.highWater = q.n
+	}
+	q.notEmpty.Signal()
+	return true
+}
+
+// Get dequeues the oldest entry, blocking while the region is empty.
+// ok is false once the queue is closed and drained.
+func (q *Queue[T]) Get() (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	if q.n == 0 {
+		return v, false
+	}
+	return q.dequeueLocked(), true
+}
+
+// TryGet dequeues without blocking.
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.n == 0 {
+		return v, false
+	}
+	return q.dequeueLocked(), true
+}
+
+func (q *Queue[T]) dequeueLocked() T {
+	v := q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	q.gets++
+	q.notFull.Signal()
+	return v
+}
+
+// Close wakes all blocked producers and consumers; subsequent Puts fail
+// and Gets drain remaining entries then report ok=false.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+}
+
+// Len reports the current queue depth.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// Cap reports the region capacity.
+func (q *Queue[T]) Cap() int { return len(q.buf) }
+
+// Stats reports lifetime puts, gets, producer blocking events, and the
+// deepest occupancy observed.
+func (q *Queue[T]) Stats() (puts, gets, blockedPuts int64, highWater int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.puts, q.gets, q.blockedPuts, q.highWater
+}

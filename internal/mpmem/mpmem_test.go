@@ -1,0 +1,222 @@
+package mpmem
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestArbiterMutualExclusion(t *testing.T) {
+	arb := NewArbiter(1)
+	var held atomic.Int32
+	var violations atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				arb.Acquire()
+				if held.Add(1) != 1 {
+					violations.Add(1)
+				}
+				held.Add(-1)
+				arb.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if violations.Load() != 0 {
+		t.Fatalf("%d mutual-exclusion violations", violations.Load())
+	}
+	grants, _ := arb.Stats()
+	if grants != 8*200 {
+		t.Fatalf("grants = %d, want 1600", grants)
+	}
+}
+
+func TestArbiterReleaseWithoutAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release without Acquire must panic")
+		}
+	}()
+	NewArbiter(1).Release()
+}
+
+func TestSemaphoreTableCriticalSections(t *testing.T) {
+	arb := NewArbiter(2)
+	tbl := NewTable(4, arb)
+	// Counters guarded by semaphores: lost updates reveal broken locking.
+	counters := make([]int, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				sem := (g + i) % 4
+				tbl.Lock(sem)
+				counters[sem]++
+				tbl.Unlock(sem)
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counters {
+		total += c
+	}
+	if total != 8*500 {
+		t.Fatalf("lost updates: total = %d, want 4000", total)
+	}
+}
+
+func TestTryLock(t *testing.T) {
+	tbl := NewTable(1, NewArbiter(3))
+	if !tbl.TryLock(0) {
+		t.Fatal("first TryLock must succeed")
+	}
+	if tbl.TryLock(0) {
+		t.Fatal("second TryLock must fail while held")
+	}
+	tbl.Unlock(0)
+	if !tbl.TryLock(0) {
+		t.Fatal("TryLock after Unlock must succeed")
+	}
+	tbl.Unlock(0)
+}
+
+func TestUnlockFreePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unlock of a free semaphore must panic")
+		}
+	}()
+	NewTable(1, NewArbiter(1)).Unlock(0)
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue[int](4)
+	for i := 0; i < 4; i++ {
+		if !q.Put(i) {
+			t.Fatal("Put into open queue")
+		}
+	}
+	if q.TryPut(9) {
+		t.Fatal("TryPut into full queue must fail")
+	}
+	if q.Len() != 4 || q.Cap() != 4 {
+		t.Fatal("Len/Cap")
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := q.Get()
+		if !ok || v != i {
+			t.Fatalf("Get = %d,%v want %d", v, ok, i)
+		}
+	}
+	if _, ok := q.TryGet(); ok {
+		t.Fatal("TryGet on empty queue must fail")
+	}
+}
+
+func TestQueueBlockingAndStats(t *testing.T) {
+	q := NewQueue[int](2)
+	q.Put(1)
+	q.Put(2)
+	done := make(chan struct{})
+	go func() {
+		q.Put(3) // blocks until a Get frees a slot
+		close(done)
+	}()
+	// Wait until the producer has registered as blocked.
+	for {
+		if _, _, blocked, _ := q.Stats(); blocked == 1 {
+			break
+		}
+	}
+	if v, _ := q.Get(); v != 1 {
+		t.Fatal("order")
+	}
+	<-done
+	puts, gets, blocked, high := q.Stats()
+	if puts != 3 || gets != 1 || high != 2 {
+		t.Fatalf("stats: puts=%d gets=%d high=%d", puts, gets, high)
+	}
+	if blocked != 1 {
+		t.Fatalf("blockedPuts = %d, want 1", blocked)
+	}
+}
+
+func TestQueueClose(t *testing.T) {
+	q := NewQueue[int](2)
+	q.Put(7)
+	q.Close()
+	if q.Put(8) {
+		t.Fatal("Put after Close must fail")
+	}
+	if v, ok := q.Get(); !ok || v != 7 {
+		t.Fatal("Close must drain remaining entries")
+	}
+	if _, ok := q.Get(); ok {
+		t.Fatal("drained closed queue must report !ok")
+	}
+}
+
+func TestQueueCloseWakesBlockedProducer(t *testing.T) {
+	q := NewQueue[int](1)
+	q.Put(1)
+	done := make(chan bool)
+	go func() { done <- q.Put(2) }()
+	q.Close()
+	if <-done {
+		t.Fatal("blocked Put must fail after Close")
+	}
+}
+
+func TestQueueConcurrentProducersConsumers(t *testing.T) {
+	q := NewQueue[int](8)
+	const producers, items = 4, 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < items; i++ {
+				q.Put(p*items + i)
+			}
+		}(p)
+	}
+	var seen sync.Map
+	var got atomic.Int64
+	var cwg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				v, ok := q.Get()
+				if !ok {
+					return
+				}
+				if _, dup := seen.LoadOrStore(v, true); dup {
+					t.Errorf("duplicate delivery of %d", v)
+				}
+				got.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	q.Close()
+	cwg.Wait()
+	if got.Load() != producers*items {
+		t.Fatalf("delivered %d, want %d", got.Load(), producers*items)
+	}
+}
+
+func TestQueueZeroCapacityClamped(t *testing.T) {
+	q := NewQueue[int](0)
+	if q.Cap() != 1 {
+		t.Fatal("capacity must clamp to 1")
+	}
+}

@@ -1,0 +1,136 @@
+package nlu
+
+import (
+	"testing"
+
+	"snap1/internal/kbgen"
+)
+
+func TestExtractRoles(t *testing.T) {
+	p, g := newTestParser(t, 2000, true)
+	s := g.Domain.Sentences[1] // "Guerrillas bombed the embassy."
+	res, err := p.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Winner != "bombing-event" {
+		t.Fatalf("winner %q", res.Winner)
+	}
+	roles, err := p.ExtractRoles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySlot := make(map[int]string)
+	for _, r := range roles {
+		bySlot[r.Slot] = r.Word
+	}
+	want := map[int]string{0: "guerrillas", 1: "bombed", 2: "embassy"}
+	for k, w := range want {
+		if bySlot[k] != w {
+			t.Errorf("slot %d filled by %q, want %q (roles %v)", k, bySlot[k], w, roles)
+		}
+	}
+}
+
+func TestExtractRolesWithoutParse(t *testing.T) {
+	p, _ := newTestParser(t, 512, true)
+	if _, err := p.ExtractRoles(); err == nil {
+		t.Fatal("role extraction without a parse must fail")
+	}
+}
+
+func TestDiscoursePronounResolution(t *testing.T) {
+	p, g := newTestParser(t, 2000, true)
+	d := NewDiscourse(p)
+
+	// Establish the referent: "Guerrillas bombed the embassy."
+	res1, roles1, err := d.Parse(g.Domain.Sentences[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Winner != "bombing-event" || len(roles1) == 0 {
+		t.Fatalf("setup parse: %q, %d roles", res1.Winner, len(roles1))
+	}
+
+	// "They attacked the mayor." — "they" must resolve to the guerrillas
+	// (the most recent animate entity) for agent(group) to complete.
+	s2 := kbgen.Sentence{
+		ID:     "D2",
+		Text:   "They attacked the mayor.",
+		Words:  []string{"they", "attacked", "the", "mayor"},
+		Expect: "attack-event",
+	}
+	res2, roles2, err := d.Parse(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Winner != "attack-event" {
+		t.Fatalf("pronoun sentence parsed as %q, want attack-event", res2.Winner)
+	}
+	agent := ""
+	for _, r := range roles2 {
+		if r.Slot == 0 {
+			agent = r.Word
+		}
+	}
+	if agent != "guerrillas" {
+		t.Fatalf("agent resolved to %q, want guerrillas (entities %v)", agent, d.Entities())
+	}
+	if d.ResolveTime <= 0 {
+		t.Error("reference resolution must consume array time")
+	}
+}
+
+func TestDiscourseUnresolvedPronounFailsToParse(t *testing.T) {
+	p, _ := newTestParser(t, 2000, true)
+	d := NewDiscourse(p)
+	// No context: "they bombed the embassy" leaves "they" unresolved and
+	// the agent slot unsatisfied (the pronoun itself only reaches
+	// animate, never group).
+	s := kbgen.Sentence{
+		ID:    "D0",
+		Words: []string{"they", "bombed", "the", "embassy"},
+	}
+	res, _, err := d.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Winner != "" {
+		t.Fatalf("unresolved pronoun parsed as %q", res.Winner)
+	}
+}
+
+func TestDiscourseAgreementSelectsCompatibleAntecedent(t *testing.T) {
+	p, g := newTestParser(t, 2000, true)
+	d := NewDiscourse(p)
+
+	// "A car bomb exploded near the government office yesterday."
+	// Entities (recent first) include inanimate nouns (office, car, bomb)
+	// and the animate government.
+	if _, _, err := d.Parse(g.Domain.Sentences[3]); err != nil {
+		t.Fatal(err)
+	}
+	// "They kidnapped the mayor": "they" is animate, so it must skip the
+	// more recent inanimate fillers and bind the government group.
+	s := kbgen.Sentence{
+		ID:     "D3",
+		Words:  []string{"they", "kidnapped", "the", "mayor"},
+		Expect: "kidnap-event",
+	}
+	res, roles, err := d.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Winner != "kidnap-event" {
+		t.Fatalf("parsed %q (entities %v)", res.Winner, d.Entities())
+	}
+	agent := ""
+	for _, r := range roles {
+		if r.Slot == 0 {
+			agent = r.Word
+		}
+	}
+	if agent != "government" {
+		t.Fatalf("agent = %q, want government (entities %v)", agent, d.Entities())
+	}
+}

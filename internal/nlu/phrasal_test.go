@@ -1,0 +1,169 @@
+package nlu
+
+import (
+	"testing"
+
+	"snap1/internal/kbgen"
+)
+
+func domainOnly(t *testing.T) *kbgen.Generated {
+	t.Helper()
+	g, err := kbgen.Generate(kbgen.Params{Nodes: 300, Seed: 1, WithDomain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestChunkAllSentences(t *testing.T) {
+	g := domainOnly(t)
+	for _, s := range g.Domain.Sentences {
+		phrases, ppTime, err := Chunk(g, s.Words)
+		if err != nil {
+			t.Fatalf("%s: %v", s.ID, err)
+		}
+		if len(phrases) == 0 || ppTime <= 0 {
+			t.Fatalf("%s: degenerate chunking", s.ID)
+		}
+		// Every token must land in exactly one phrase.
+		total := 0
+		for _, p := range phrases {
+			total += len(p.Tokens)
+		}
+		if total != len(s.Words) {
+			t.Errorf("%s: %d tokens chunked of %d", s.ID, total, len(s.Words))
+		}
+	}
+}
+
+func TestChunkCostIsLengthLinear(t *testing.T) {
+	g := domainOnly(t)
+	short := []string{"guerrillas", "bombed", "embassy"}
+	long := []string{"terrorists", "attacked", "the", "mayor", "home", "in", "bogota", "yesterday"}
+	_, tShort, err := Chunk(g, short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tLong, err := Chunk(g, long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tLong <= tShort {
+		t.Fatalf("phrasal time must grow with length: %v vs %v", tShort, tLong)
+	}
+}
+
+func TestChunkUnknownWord(t *testing.T) {
+	g := domainOnly(t)
+	if _, _, err := Chunk(g, []string{"zxqj"}); err == nil {
+		t.Fatal("unknown word must fail")
+	}
+}
+
+func TestChunkTypes(t *testing.T) {
+	g := domainOnly(t)
+	phrases, _, err := Chunk(g, []string{"the", "police", "killed", "the", "terrorists", "in", "bogota", "yesterday"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := make([]PhraseType, len(phrases))
+	for i, p := range phrases {
+		types[i] = p.Type
+	}
+	want := []PhraseType{PhraseNP, PhraseVP, PhraseNP, PhrasePP, PhraseAdv}
+	if len(types) != len(want) {
+		t.Fatalf("phrases %v, want %v", types, want)
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("phrases %v, want %v", types, want)
+		}
+	}
+	// PP absorbs its object noun.
+	if len(phrases[3].Tokens) != 2 || phrases[3].Tokens[1] != "bogota" {
+		t.Errorf("PP = %v", phrases[3].Tokens)
+	}
+	// Determiners never reach the array.
+	for _, id := range ContentWords(phrases) {
+		name := g.KB.Name(id)
+		if name == "the" || name == "a" {
+			t.Error("determiner leaked into content words")
+		}
+	}
+}
+
+func TestPhraseTypeStrings(t *testing.T) {
+	for _, pt := range []PhraseType{PhraseNP, PhraseVP, PhrasePP, PhraseAdv, PhraseOther} {
+		if pt.String() == "" {
+			t.Error("empty phrase type name")
+		}
+	}
+}
+
+func TestParseNoContentWords(t *testing.T) {
+	p, g := newTestParser(t, 512, true)
+	_ = g
+	if _, err := p.Parse(kbgen.Sentence{ID: "X", Words: []string{"the", "a"}}); err == nil {
+		t.Fatal("all-determiner sentence must fail")
+	}
+}
+
+func TestParseNoCandidates(t *testing.T) {
+	p, _ := newTestParser(t, 512, true)
+	// Preposition-only input activates nothing that completes a sequence.
+	res, err := p.Parse(kbgen.Sentence{ID: "Y", Words: []string{"in", "of"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Winner != "" {
+		t.Fatalf("nonsense parsed as %q", res.Winner)
+	}
+	if res.MBTime <= 0 {
+		t.Error("the match stage still ran and must cost time")
+	}
+}
+
+func TestLongSentenceTruncation(t *testing.T) {
+	p, g := newTestParser(t, 1000, true)
+	// 14 content words exceed the MaxContentWords marker budget; the
+	// parser must truncate and still succeed on the prefix.
+	words := []string{
+		"terrorists", "attacked", "mayor", "home", "bogota", "yesterday",
+		"guerrillas", "bombed", "embassy", "police", "killed", "soldiers",
+		"government", "office",
+	}
+	res, err := p.Parse(kbgen.Sentence{ID: "Z", Words: words, Expect: "attack-event"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Winner == "" {
+		t.Fatal("truncated parse found no meaning")
+	}
+	_ = g
+}
+
+func TestRepeatedParsingIsStable(t *testing.T) {
+	// Parsing the same batch twice must give identical winners and
+	// identical simulated times (the deterministic engine plus correct
+	// inter-parse state reset).
+	p, g := newTestParser(t, 2000, true)
+	type key struct {
+		winner string
+		instrs int
+	}
+	var first []key
+	for round := 0; round < 3; round++ {
+		for i, s := range g.Domain.Sentences {
+			res, err := p.Parse(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := key{res.Winner, res.Instructions}
+			if round == 0 {
+				first = append(first, k)
+			} else if first[i] != k {
+				t.Fatalf("round %d %s: %+v != %+v", round, s.ID, k, first[i])
+			}
+		}
+	}
+}

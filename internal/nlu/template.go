@@ -1,0 +1,161 @@
+package nlu
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"snap1/internal/isa"
+	"snap1/internal/kbgen"
+	"snap1/internal/rules"
+	"snap1/internal/semnet"
+)
+
+// Template is the MUC-style output of the information-extraction
+// application [12]: "it accepts newswire text as input and generates the
+// meaning of the sentence as output". The winning concept sequence names
+// the incident; its slot fillers and the completed auxiliary case
+// sequences fill the rest.
+type Template struct {
+	Incident    string // winning basic concept sequence
+	Perpetrator string // agent slot filler
+	Action      string // act slot filler
+	Target      string // target/victim slot filler
+	Location    string // place filler of a completed location-case
+	Time        string // time filler of a completed time-case
+}
+
+// String renders the template in MUC answer-key style.
+func (t Template) String() string {
+	var b strings.Builder
+	row := func(k, v string) {
+		if v == "" {
+			v = "-"
+		}
+		fmt.Fprintf(&b, "  %-12s %s\n", k+":", v)
+	}
+	row("INCIDENT", t.Incident)
+	row("PERP", t.Perpetrator)
+	row("ACTION", t.Action)
+	row("TARGET", t.Target)
+	row("LOCATION", t.Location)
+	row("TIME", t.Time)
+	return b.String()
+}
+
+// ExtractTemplate builds the template for the most recent successful
+// Parse: slot fillers come from the winner's elements, location and time
+// from the completed auxiliary case sequences.
+func (p *Parser) ExtractTemplate(res *ParseResult) (Template, error) {
+	if res == nil || res.Winner == "" {
+		return Template{}, fmt.Errorf("nlu: no parse to extract a template from")
+	}
+	t := Template{Incident: res.Winner}
+	roles, err := p.ExtractRoles()
+	if err != nil {
+		return t, err
+	}
+	for _, r := range roles {
+		switch r.Slot {
+		case 0:
+			t.Perpetrator = r.Word
+		case 1:
+			t.Action = r.Word
+		case 2:
+			t.Target = r.Word
+		}
+	}
+	for _, c := range res.Cases {
+		root, ok := p.g.KB.Lookup(c)
+		if !ok {
+			continue
+		}
+		caseRoles, err := p.extractRolesOf(root, 0)
+		if err != nil {
+			return t, err
+		}
+		switch c {
+		case "location-case":
+			// Slot 1 is the place (slot 0 is the spatial preposition).
+			for _, r := range caseRoles {
+				if r.Slot == 1 {
+					t.Location = r.Word
+				}
+			}
+		case "time-case":
+			for _, r := range caseRoles {
+				if r.Slot == 0 {
+					t.Time = r.Word
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// ExtractRoles reads back which content word filled each element slot of
+// the winning sequence of the most recent successful Parse.
+func (p *Parser) ExtractRoles() ([]Role, error) {
+	if !p.lastValid {
+		return nil, fmt.Errorf("nlu: no successful parse to extract roles from")
+	}
+	return p.extractRolesOf(p.lastWinner, -1)
+}
+
+// extractRolesOf runs the role-extraction program against any sequence
+// root whose element activations are still planted. minGate >= 0 relaxes
+// the temporal gating floor: auxiliary case sequences attach anywhere in
+// the sentence, so their slot k is gated at word index >= minGate+k
+// rather than the basic sequence's >= k... a gate of 0 keeps plain slot
+// alignment. Passing -1 applies the basic-sequence rule (slot k needs
+// word index >= k).
+func (p *Parser) extractRolesOf(root semnet.NodeID, minGate int) ([]Role, error) {
+	g := p.g
+	pr := isa.NewProgram()
+	pr.ClearM(bRoleSel)
+	pr.ClearM(bRoleEl)
+	pr.SearchNode(root, bRoleSel, 0)
+	pr.Propagate(bRoleSel, bRoleEl, rules.Step(g.Rel.Elem), semnet.FuncNop)
+	gate := func(k int) int {
+		if minGate < 0 {
+			return k // slot k may only be filled by word index >= k
+		}
+		return minGate
+	}
+	for k := 0; k < kbgen.MaxSeqElements; k++ {
+		pr.ClearM(bRoleK)
+		pr.And(bRoleEl, bElemK(k), bRoleK, semnet.FuncNop)
+		for i := gate(k); i < len(p.lastContent); i++ {
+			pr.ClearM(mRoleEx)
+			pr.And(mSemBase+semnet.MarkerID(i), bRoleK, mRoleEx, semnet.FuncMax)
+			pr.CollectNode(mRoleEx)
+		}
+	}
+	res, err := p.m.Run(pr)
+	if err != nil {
+		return nil, err
+	}
+	var roles []Role
+	coll := 0
+	for k := 0; k < kbgen.MaxSeqElements; k++ {
+		best := float32(math.Inf(1))
+		bestI := -1
+		for i := gate(k); i < len(p.lastContent); i++ {
+			for _, it := range res.Collected(coll) {
+				if it.Value < best {
+					best, bestI = it.Value, i
+				}
+			}
+			coll++
+		}
+		if bestI >= 0 {
+			roles = append(roles, Role{
+				Slot:  k,
+				Word:  g.KB.Name(p.lastContent[bestI]),
+				Node:  p.lastContent[bestI],
+				Score: best,
+			})
+		}
+	}
+	return roles, nil
+}

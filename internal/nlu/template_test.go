@@ -1,0 +1,107 @@
+package nlu
+
+import (
+	"strings"
+	"testing"
+
+	"snap1/internal/kbgen"
+)
+
+func TestExtractTemplateFullSentence(t *testing.T) {
+	p, g := newTestParser(t, 2000, true)
+	// "Terrorists attacked the mayor's home in Bogota yesterday."
+	s := g.Domain.Sentences[0]
+	res, err := p.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpl, err := p.ExtractTemplate(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tpl.Incident != "attack-event" {
+		t.Errorf("incident %q", tpl.Incident)
+	}
+	if tpl.Perpetrator != "terrorists" {
+		t.Errorf("perpetrator %q", tpl.Perpetrator)
+	}
+	if tpl.Action != "attacked" {
+		t.Errorf("action %q", tpl.Action)
+	}
+	if tpl.Target != "mayor" && tpl.Target != "home" {
+		t.Errorf("target %q, want mayor or home", tpl.Target)
+	}
+	if tpl.Location != "bogota" {
+		t.Errorf("location %q", tpl.Location)
+	}
+	if tpl.Time != "yesterday" {
+		t.Errorf("time %q", tpl.Time)
+	}
+	out := tpl.String()
+	for _, want := range []string{"INCIDENT", "PERP", "LOCATION"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestExtractTemplateNoCases(t *testing.T) {
+	p, g := newTestParser(t, 2000, true)
+	res, err := p.Parse(g.Domain.Sentences[1]) // "Guerrillas bombed the embassy."
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpl, err := p.ExtractTemplate(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tpl.Incident != "bombing-event" || tpl.Perpetrator != "guerrillas" || tpl.Target != "embassy" {
+		t.Errorf("template %+v", tpl)
+	}
+	if tpl.Location != "" || tpl.Time != "" {
+		t.Errorf("no cases completed, got location %q time %q", tpl.Location, tpl.Time)
+	}
+	// Empty fields render as dashes.
+	if !strings.Contains(tpl.String(), "LOCATION:    -") {
+		t.Errorf("rendering:\n%s", tpl.String())
+	}
+}
+
+func TestExtractTemplateWithoutParse(t *testing.T) {
+	p, _ := newTestParser(t, 512, true)
+	if _, err := p.ExtractTemplate(nil); err == nil {
+		t.Fatal("nil result")
+	}
+	if _, err := p.ExtractTemplate(&ParseResult{}); err == nil {
+		t.Fatal("failed parse")
+	}
+}
+
+func TestTemplatesAcrossAllSentences(t *testing.T) {
+	p, g := newTestParser(t, 4000, true)
+	for _, s := range g.Domain.Sentences {
+		res, err := p.Parse(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tpl, err := p.ExtractTemplate(res)
+		if err != nil {
+			t.Fatalf("%s: %v", s.ID, err)
+		}
+		if tpl.Incident != s.Expect {
+			t.Errorf("%s: incident %q, want %q", s.ID, tpl.Incident, s.Expect)
+		}
+		if tpl.Perpetrator == "" || tpl.Action == "" {
+			t.Errorf("%s: incomplete template %+v", s.ID, tpl)
+		}
+		for _, aux := range s.Aux {
+			if aux == "time-case" && tpl.Time == "" {
+				t.Errorf("%s: time case completed but no time filler", s.ID)
+			}
+			if aux == "location-case" && tpl.Location == "" {
+				t.Errorf("%s: location case completed but no location filler", s.ID)
+			}
+		}
+	}
+	_ = kbgen.MaxSeqElements
+}

@@ -1,0 +1,167 @@
+// Package partition implements the knowledge-base partitioning functions
+// that divide the semantic network into regions, one region per cluster
+// (Section II-A: "The mapping function is variable with up to 1024 nodes
+// per cluster using sequential, round-robin, or semantically-based
+// allocation").
+package partition
+
+import (
+	"fmt"
+
+	"snap1/internal/semnet"
+)
+
+// Assignment maps each global node index to its cluster.
+type Assignment []int
+
+// Func is a partitioning strategy: it assigns every node of kb to one of
+// the clusters without exceeding the per-cluster node capacity.
+type Func func(kb *semnet.KB, clusters, capacity int) (Assignment, error)
+
+// ErrTooLarge is wrapped when the network does not fit the array.
+var ErrTooLarge = fmt.Errorf("partition: knowledge base exceeds array capacity")
+
+func check(kb *semnet.KB, clusters, capacity int) error {
+	if n := kb.NumNodes(); n > clusters*capacity {
+		return fmt.Errorf("%w: %d nodes > %d clusters × %d", ErrTooLarge, n, clusters, capacity)
+	}
+	return nil
+}
+
+// Sequential assigns consecutive node IDs to the same cluster in blocks,
+// balancing block sizes across clusters.
+func Sequential(kb *semnet.KB, clusters, capacity int) (Assignment, error) {
+	if err := check(kb, clusters, capacity); err != nil {
+		return nil, err
+	}
+	n := kb.NumNodes()
+	a := make(Assignment, n)
+	block := (n + clusters - 1) / clusters
+	if block == 0 {
+		block = 1
+	}
+	for i := 0; i < n; i++ {
+		c := i / block
+		if c >= clusters {
+			c = clusters - 1
+		}
+		a[i] = c
+	}
+	return a, nil
+}
+
+// RoundRobin deals node IDs across clusters modulo the cluster count,
+// spreading every region of the network over the whole array.
+func RoundRobin(kb *semnet.KB, clusters, capacity int) (Assignment, error) {
+	if err := check(kb, clusters, capacity); err != nil {
+		return nil, err
+	}
+	n := kb.NumNodes()
+	a := make(Assignment, n)
+	for i := 0; i < n; i++ {
+		a[i] = i % clusters
+	}
+	return a, nil
+}
+
+// Semantic allocates connected regions of the network to the same cluster:
+// a breadth-first traversal fills each cluster to its balanced share
+// before moving on, so propagation chains tend to stay cluster-local.
+// Preprocessor subnodes always co-locate with the concept they continue.
+func Semantic(kb *semnet.KB, clusters, capacity int) (Assignment, error) {
+	if err := check(kb, clusters, capacity); err != nil {
+		return nil, err
+	}
+	n := kb.NumNodes()
+	a := make(Assignment, n)
+	for i := range a {
+		a[i] = -1
+	}
+	share := (n + clusters - 1) / clusters
+	if share > capacity {
+		share = capacity
+	}
+	cluster, filled := 0, 0
+	place := func(id int) bool {
+		if a[id] != -1 {
+			return false
+		}
+		if filled >= share && cluster < clusters-1 {
+			cluster++
+			filled = 0
+		}
+		a[id] = cluster
+		filled++
+		return true
+	}
+
+	queue := make([]int, 0, 64)
+	for seed := 0; seed < n; seed++ {
+		if a[seed] != -1 {
+			continue
+		}
+		queue = append(queue[:0], seed)
+		place(seed)
+		for len(queue) > 0 {
+			id := queue[0]
+			queue = queue[1:]
+			node, err := kb.Node(semnet.NodeID(id))
+			if err != nil {
+				return nil, err
+			}
+			for _, l := range node.Out {
+				if place(int(l.To)) {
+					queue = append(queue, int(l.To))
+				}
+			}
+		}
+	}
+	return a, nil
+}
+
+// Balance reports the per-cluster node counts of an assignment.
+func Balance(a Assignment, clusters int) []int {
+	counts := make([]int, clusters)
+	for _, c := range a {
+		if c >= 0 && c < clusters {
+			counts[c]++
+		}
+	}
+	return counts
+}
+
+// CutRatio reports the fraction of links whose endpoints land in different
+// clusters — the traffic a partition sends through the interconnect.
+func CutRatio(kb *semnet.KB, a Assignment) float64 {
+	total, cut := 0, 0
+	for id := 0; id < kb.NumNodes(); id++ {
+		node, err := kb.Node(semnet.NodeID(id))
+		if err != nil {
+			continue
+		}
+		for _, l := range node.Out {
+			total++
+			if a[id] != a[l.To] {
+				cut++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(cut) / float64(total)
+}
+
+// ByName resolves a strategy name for command-line tools.
+func ByName(name string) (Func, error) {
+	switch name {
+	case "sequential", "seq":
+		return Sequential, nil
+	case "round-robin", "rr":
+		return RoundRobin, nil
+	case "semantic", "sem":
+		return Semantic, nil
+	default:
+		return nil, fmt.Errorf("partition: unknown strategy %q", name)
+	}
+}

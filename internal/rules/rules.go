@@ -1,0 +1,263 @@
+// Package rules implements SNAP-1 propagation rules: the microcode that
+// guides marker flow through the semantic network.
+//
+// A rule is a small finite-state machine over relation types. At each node
+// a marker holds a rule state; every outgoing link whose relation type has
+// a transition from that state is followed, moving the marker to the
+// transition's next state at the destination node. A state with no
+// transitions is terminal — the marker rests there.
+//
+// Rules are compiled into a table that is downloaded at program-load time
+// (the paper downloads the microcode table at compile time), so in-flight
+// marker activation messages need to carry only a single-byte rule token
+// plus the current state, keeping messages fixed-size regardless of rule
+// complexity.
+package rules
+
+import (
+	"fmt"
+
+	"snap1/internal/semnet"
+)
+
+// Kind selects one of the predefined rule shapes from the paper's
+// rule-type(r1,r2) notation.
+type Kind uint8
+
+// Predefined rule kinds.
+const (
+	// KindStep follows a single link of type R1 and stops.
+	KindStep Kind = iota
+	// KindPath follows chains of R1 links.
+	KindPath
+	// KindSpread follows chains of R1 links until a link of type R2 is
+	// encountered, at which point it switches to chains of R2 links —
+	// the paper's example rule spread(r1,r2).
+	KindSpread
+	// KindSeq follows exactly one R1 link then exactly one R2 link.
+	KindSeq
+	// KindComb follows links of either type freely.
+	KindComb
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindStep:
+		return "step"
+	case KindPath:
+		return "path"
+	case KindSpread:
+		return "spread"
+	case KindSeq:
+		return "seq"
+	case KindComb:
+		return "comb"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Spec names a rule to be compiled: a predefined kind over one or two
+// relation types. R2 is ignored by single-relation kinds.
+type Spec struct {
+	Kind   Kind
+	R1, R2 semnet.RelType
+}
+
+// Step returns the spec for a single R1 hop.
+func Step(r1 semnet.RelType) Spec { return Spec{Kind: KindStep, R1: r1} }
+
+// Path returns the spec for chains of R1 hops.
+func Path(r1 semnet.RelType) Spec { return Spec{Kind: KindPath, R1: r1} }
+
+// Spread returns the paper's spread(r1,r2) rule.
+func Spread(r1, r2 semnet.RelType) Spec { return Spec{Kind: KindSpread, R1: r1, R2: r2} }
+
+// Seq returns the one-R1-then-one-R2 rule.
+func Seq(r1, r2 semnet.RelType) Spec { return Spec{Kind: KindSeq, R1: r1, R2: r2} }
+
+// Comb returns the follow-either rule over R1 and R2.
+func Comb(r1, r2 semnet.RelType) Spec { return Spec{Kind: KindComb, R1: r1, R2: r2} }
+
+// State is a rule FSM state index carried by in-flight markers.
+type State uint8
+
+// Token identifies a compiled rule in the downloaded table. Messages carry
+// the token, never the rule body ("each marker only needs to carry a
+// single-byte token indicating the function to be performed").
+type Token uint8
+
+// MaxStates bounds rule FSM size so states pack into the fixed message.
+const MaxStates = 16
+
+// Transition is one FSM edge: on a link of type Rel, move to state Next.
+type Transition struct {
+	Rel  semnet.RelType
+	Next State
+}
+
+// Compiled is a rule FSM ready for the marker units.
+type Compiled struct {
+	name   string
+	states [][]Transition
+}
+
+// Name returns the rule's diagnostic name.
+func (c *Compiled) Name() string { return c.name }
+
+// NumStates reports the FSM size.
+func (c *Compiled) NumStates() int { return len(c.states) }
+
+// Next reports whether a link of type rel is followed from state s and,
+// if so, the state the marker assumes at the destination.
+func (c *Compiled) Next(s State, rel semnet.RelType) (State, bool) {
+	if int(s) >= len(c.states) {
+		return 0, false
+	}
+	for _, t := range c.states[s] {
+		if t.Rel == rel {
+			return t.Next, true
+		}
+	}
+	return 0, false
+}
+
+// Terminal reports whether state s has no outgoing transitions.
+func (c *Compiled) Terminal(s State) bool {
+	return int(s) >= len(c.states) || len(c.states[s]) == 0
+}
+
+// Compile lowers a Spec to its FSM.
+func Compile(spec Spec) (*Compiled, error) {
+	name := fmt.Sprintf("%s(%d,%d)", spec.Kind, spec.R1, spec.R2)
+	switch spec.Kind {
+	case KindStep:
+		return &Compiled{name: name, states: [][]Transition{
+			{{Rel: spec.R1, Next: 1}},
+			nil,
+		}}, nil
+	case KindPath:
+		return &Compiled{name: name, states: [][]Transition{
+			{{Rel: spec.R1, Next: 0}},
+		}}, nil
+	case KindSpread:
+		return &Compiled{name: name, states: [][]Transition{
+			{{Rel: spec.R1, Next: 0}, {Rel: spec.R2, Next: 1}},
+			{{Rel: spec.R2, Next: 1}},
+		}}, nil
+	case KindSeq:
+		return &Compiled{name: name, states: [][]Transition{
+			{{Rel: spec.R1, Next: 1}},
+			{{Rel: spec.R2, Next: 2}},
+			nil,
+		}}, nil
+	case KindComb:
+		return &Compiled{name: name, states: [][]Transition{
+			{{Rel: spec.R1, Next: 0}, {Rel: spec.R2, Next: 0}},
+		}}, nil
+	default:
+		return nil, fmt.Errorf("rules: unknown kind %d", spec.Kind)
+	}
+}
+
+// Builder assembles a custom rule FSM state by state.
+type Builder struct {
+	name   string
+	states [][]Transition
+	err    error
+}
+
+// NewBuilder starts a custom rule with the given diagnostic name.
+func NewBuilder(name string) *Builder { return &Builder{name: name} }
+
+// On adds a transition from state s: follow links of type rel and assume
+// state next at the destination. States are created on demand.
+func (b *Builder) On(s State, rel semnet.RelType, next State) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if s >= MaxStates || next >= MaxStates {
+		b.err = fmt.Errorf("rules: state exceeds MaxStates (%d)", MaxStates)
+		return b
+	}
+	hi := s
+	if next > hi {
+		hi = next
+	}
+	for len(b.states) <= int(hi) {
+		b.states = append(b.states, nil)
+	}
+	for _, t := range b.states[s] {
+		if t.Rel == rel {
+			b.err = fmt.Errorf("rules: duplicate transition on relation %d from state %d", rel, s)
+			return b
+		}
+	}
+	b.states[s] = append(b.states[s], Transition{Rel: rel, Next: next})
+	return b
+}
+
+// Build finalizes the custom rule.
+func (b *Builder) Build() (*Compiled, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.states) == 0 {
+		return nil, fmt.Errorf("rules: rule %q has no states", b.name)
+	}
+	return &Compiled{name: b.name, states: b.states}, nil
+}
+
+// Table is the per-program rule microcode table, downloaded to every
+// cluster before execution. Token 0 is reserved as "no rule".
+type Table struct {
+	rules []*Compiled
+	bySig map[string]Token
+}
+
+// NewTable returns an empty rule table.
+func NewTable() *Table {
+	return &Table{rules: []*Compiled{nil}, bySig: make(map[string]Token)}
+}
+
+// Add compiles and interns spec, returning its message token. Identical
+// specs share a token.
+func (t *Table) Add(spec Spec) (Token, error) {
+	sig := fmt.Sprintf("%d/%d/%d", spec.Kind, spec.R1, spec.R2)
+	if tok, ok := t.bySig[sig]; ok {
+		return tok, nil
+	}
+	c, err := Compile(spec)
+	if err != nil {
+		return 0, err
+	}
+	return t.addCompiled(sig, c)
+}
+
+// AddCustom interns a custom-built rule under its own token.
+func (t *Table) AddCustom(c *Compiled) (Token, error) {
+	return t.addCompiled(fmt.Sprintf("custom/%p", c), c)
+}
+
+func (t *Table) addCompiled(sig string, c *Compiled) (Token, error) {
+	if len(t.rules) >= 256 {
+		return 0, fmt.Errorf("rules: table full (255 rules)")
+	}
+	tok := Token(len(t.rules))
+	t.rules = append(t.rules, c)
+	t.bySig[sig] = tok
+	return tok, nil
+}
+
+// Rule resolves a token to its compiled FSM, or nil for token 0 or an
+// unknown token.
+func (t *Table) Rule(tok Token) *Compiled {
+	if int(tok) >= len(t.rules) {
+		return nil
+	}
+	return t.rules[tok]
+}
+
+// Len reports the number of interned rules (excluding the reserved 0).
+func (t *Table) Len() int { return len(t.rules) - 1 }

@@ -1,0 +1,203 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"snap1/internal/semnet"
+)
+
+const (
+	rA semnet.RelType = 1
+	rB semnet.RelType = 2
+	rC semnet.RelType = 3
+)
+
+func compile(t *testing.T, spec Spec) *Compiled {
+	t.Helper()
+	c, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestStepRule(t *testing.T) {
+	c := compile(t, Step(rA))
+	next, ok := c.Next(0, rA)
+	if !ok || next != 1 {
+		t.Fatalf("step: Next(0,rA) = %d,%v", next, ok)
+	}
+	if _, ok := c.Next(0, rB); ok {
+		t.Error("step must not follow other relations")
+	}
+	if !c.Terminal(1) {
+		t.Error("step state 1 must be terminal")
+	}
+	if c.Terminal(0) {
+		t.Error("step state 0 must not be terminal")
+	}
+}
+
+func TestPathRule(t *testing.T) {
+	c := compile(t, Path(rA))
+	next, ok := c.Next(0, rA)
+	if !ok || next != 0 {
+		t.Fatal("path must loop in state 0")
+	}
+	if c.Terminal(0) {
+		t.Error("path state 0 is never terminal")
+	}
+}
+
+func TestSpreadRule(t *testing.T) {
+	c := compile(t, Spread(rA, rB))
+	if next, ok := c.Next(0, rA); !ok || next != 0 {
+		t.Error("spread state 0 follows r1 chains")
+	}
+	if next, ok := c.Next(0, rB); !ok || next != 1 {
+		t.Error("spread state 0 switches on r2")
+	}
+	if next, ok := c.Next(1, rB); !ok || next != 1 {
+		t.Error("spread state 1 follows r2 chains")
+	}
+	if _, ok := c.Next(1, rA); ok {
+		t.Error("after the switch, r1 links must not be followed")
+	}
+}
+
+func TestSeqRule(t *testing.T) {
+	c := compile(t, Seq(rA, rB))
+	s1, ok := c.Next(0, rA)
+	if !ok || s1 != 1 {
+		t.Fatal("seq first hop")
+	}
+	s2, ok := c.Next(1, rB)
+	if !ok || s2 != 2 {
+		t.Fatal("seq second hop")
+	}
+	if !c.Terminal(2) {
+		t.Error("seq ends after two hops")
+	}
+	if _, ok := c.Next(0, rB); ok {
+		t.Error("seq must not take r2 first")
+	}
+}
+
+func TestCombRule(t *testing.T) {
+	c := compile(t, Comb(rA, rB))
+	for _, r := range []semnet.RelType{rA, rB} {
+		if next, ok := c.Next(0, r); !ok || next != 0 {
+			t.Errorf("comb must follow %d freely", r)
+		}
+	}
+	if _, ok := c.Next(0, rC); ok {
+		t.Error("comb must not follow unrelated types")
+	}
+}
+
+func TestCompileUnknownKind(t *testing.T) {
+	if _, err := Compile(Spec{Kind: Kind(99)}); err == nil {
+		t.Fatal("unknown kind must fail")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []Kind{KindStep, KindPath, KindSpread, KindSeq, KindComb} {
+		if strings.Contains(k.String(), "kind(") {
+			t.Errorf("kind %d missing name", k)
+		}
+	}
+}
+
+func TestBuilderCustomRule(t *testing.T) {
+	// Walk one rA then chains of rB, with an rC escape back to start.
+	c, err := NewBuilder("custom").
+		On(0, rA, 1).
+		On(1, rB, 1).
+		On(1, rC, 0).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumStates() != 2 {
+		t.Fatalf("states = %d", c.NumStates())
+	}
+	if next, _ := c.Next(1, rC); next != 0 {
+		t.Error("escape transition")
+	}
+	if c.Name() != "custom" {
+		t.Error("name")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, err := NewBuilder("dup").On(0, rA, 0).On(0, rA, 1).Build(); err == nil {
+		t.Error("duplicate transition must fail")
+	}
+	if _, err := NewBuilder("big").On(MaxStates, rA, 0).Build(); err == nil {
+		t.Error("state overflow must fail")
+	}
+	if _, err := NewBuilder("empty").Build(); err == nil {
+		t.Error("empty rule must fail")
+	}
+}
+
+func TestTableInterning(t *testing.T) {
+	tbl := NewTable()
+	tok1, err := tbl.Add(Spread(rA, rB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok2, err := tbl.Add(Spread(rA, rB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok1 != tok2 {
+		t.Error("identical specs must share a token")
+	}
+	tok3, _ := tbl.Add(Spread(rA, rC))
+	if tok3 == tok1 {
+		t.Error("different specs must not share a token")
+	}
+	if tbl.Len() != 2 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+	if tbl.Rule(0) != nil {
+		t.Error("token 0 is reserved")
+	}
+	if tbl.Rule(Token(200)) != nil {
+		t.Error("unknown token must resolve to nil")
+	}
+	if tbl.Rule(tok1).Name() == "" {
+		t.Error("rule name")
+	}
+}
+
+func TestTableCustomAndCapacity(t *testing.T) {
+	tbl := NewTable()
+	c, _ := NewBuilder("x").On(0, rA, 0).Build()
+	tok, err := tbl.AddCustom(c)
+	if err != nil || tbl.Rule(tok) != c {
+		t.Fatal("custom rule round trip")
+	}
+	// Fill to capacity: 255 rules total.
+	for i := tbl.Len(); i < 255; i++ {
+		if _, err := tbl.Add(Spec{Kind: KindPath, R1: semnet.RelType(i)}); err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+	}
+	if _, err := tbl.Add(Spec{Kind: KindPath, R1: 60000}); err == nil {
+		t.Error("table overflow must fail")
+	}
+}
+
+func TestNextOutOfRangeState(t *testing.T) {
+	c := compile(t, Path(rA))
+	if _, ok := c.Next(7, rA); ok {
+		t.Error("out-of-range state must not follow")
+	}
+	if !c.Terminal(7) {
+		t.Error("out-of-range state is terminal")
+	}
+}

@@ -1,0 +1,293 @@
+package semnet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Node is the logical (host-side) view of a semantic network concept:
+// a name, a color, the propagation function stored in the node table,
+// and its outgoing links.
+type Node struct {
+	Name   string
+	Color  Color
+	Fn     FuncCode
+	Out    []Link
+	parent NodeID // parent concept for preprocessor subnodes, else InvalidNode
+}
+
+// IsSubnode reports whether n was created by the fanout preprocessor.
+func (n *Node) IsSubnode() bool { return n.parent != InvalidNode }
+
+// KB is the logical knowledge base constructed on the host and downloaded
+// into the array. It owns the name tables for nodes, relations and colors;
+// the array stores only the binary-encoded tables.
+type KB struct {
+	nodes  []Node
+	byName map[string]NodeID
+
+	relNames   map[RelType]string
+	relByName  map[string]RelType
+	nextRel    RelType
+	colorNames map[Color]string
+	colorByNm  map[string]Color
+	nextColor  Color
+
+	numLinks int
+}
+
+// NewKB returns an empty knowledge base.
+func NewKB() *KB {
+	return &KB{
+		byName:     make(map[string]NodeID),
+		relNames:   make(map[RelType]string),
+		relByName:  make(map[string]RelType),
+		colorNames: make(map[Color]string),
+		colorByNm:  make(map[string]Color),
+	}
+}
+
+// Errors reported by knowledge-base construction.
+var (
+	ErrDuplicateNode = errors.New("semnet: duplicate node name")
+	ErrUnknownNode   = errors.New("semnet: unknown node")
+	ErrCapacity      = errors.New("semnet: capacity exceeded")
+)
+
+// AddNode creates a node with the given name and color and returns its ID.
+func (kb *KB) AddNode(name string, color Color) (NodeID, error) {
+	if _, ok := kb.byName[name]; ok {
+		return InvalidNode, fmt.Errorf("%w: %q", ErrDuplicateNode, name)
+	}
+	id := NodeID(len(kb.nodes))
+	kb.nodes = append(kb.nodes, Node{Name: name, Color: color, parent: InvalidNode})
+	kb.byName[name] = id
+	return id, nil
+}
+
+// MustAddNode is AddNode for construction code where duplicates are bugs.
+func (kb *KB) MustAddNode(name string, color Color) NodeID {
+	id, err := kb.AddNode(name, color)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// SetFn sets the node-table propagation function of node id.
+func (kb *KB) SetFn(id NodeID, fn FuncCode) error {
+	if int(id) >= len(kb.nodes) {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	kb.nodes[id].Fn = fn
+	return nil
+}
+
+// AddLink appends an outgoing relation from -> to with the given type and
+// weight. Fanout beyond RelationSlots is legal here; the Preprocess pass
+// splits such nodes before download, as the paper's preprocessor does.
+func (kb *KB) AddLink(from NodeID, rel RelType, weight float32, to NodeID) error {
+	if int(from) >= len(kb.nodes) || int(to) >= len(kb.nodes) {
+		return fmt.Errorf("%w: link %d->%d", ErrUnknownNode, from, to)
+	}
+	kb.nodes[from].Out = append(kb.nodes[from].Out, Link{Rel: rel, Weight: weight, To: to})
+	kb.numLinks++
+	return nil
+}
+
+// MustAddLink is AddLink for construction code where failures are bugs.
+func (kb *KB) MustAddLink(from NodeID, rel RelType, weight float32, to NodeID) {
+	if err := kb.AddLink(from, rel, weight, to); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup resolves a node name to its ID.
+func (kb *KB) Lookup(name string) (NodeID, bool) {
+	id, ok := kb.byName[name]
+	return id, ok
+}
+
+// Node returns the node record for id. The returned pointer stays valid
+// until the next AddNode or Preprocess call.
+func (kb *KB) Node(id NodeID) (*Node, error) {
+	if int(id) >= len(kb.nodes) {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	return &kb.nodes[id], nil
+}
+
+// Name returns the node's name, or a synthesized placeholder for IDs out
+// of range (collection results are never fatal).
+func (kb *KB) Name(id NodeID) string {
+	if int(id) < len(kb.nodes) {
+		return kb.nodes[id].Name
+	}
+	return fmt.Sprintf("node#%d", id)
+}
+
+// Canonical maps a preprocessor subnode back to the concept it continues;
+// non-subnode IDs map to themselves.
+func (kb *KB) Canonical(id NodeID) NodeID {
+	for int(id) < len(kb.nodes) && kb.nodes[id].parent != InvalidNode {
+		id = kb.nodes[id].parent
+	}
+	return id
+}
+
+// NumNodes reports the node count including preprocessor subnodes.
+func (kb *KB) NumNodes() int { return len(kb.nodes) }
+
+// NumConcepts reports the node count excluding preprocessor subnodes.
+func (kb *KB) NumConcepts() int {
+	n := 0
+	for i := range kb.nodes {
+		if kb.nodes[i].parent == InvalidNode {
+			n++
+		}
+	}
+	return n
+}
+
+// NumLinks reports the total number of relation-table entries.
+func (kb *KB) NumLinks() int { return kb.numLinks }
+
+// Relation interns a relation-type name, assigning the next free type.
+func (kb *KB) Relation(name string) RelType {
+	if r, ok := kb.relByName[name]; ok {
+		return r
+	}
+	r := kb.nextRel
+	if r == RelCont {
+		panic("semnet: relation type space exhausted")
+	}
+	kb.nextRel++
+	kb.relByName[name] = r
+	kb.relNames[r] = name
+	return r
+}
+
+// RelationName returns the interned name for r, or a numeric placeholder.
+func (kb *KB) RelationName(r RelType) string {
+	if n, ok := kb.relNames[r]; ok {
+		return n
+	}
+	if r == RelCont {
+		return "<cont>"
+	}
+	return fmt.Sprintf("rel#%d", r)
+}
+
+// ColorFor interns a color name, assigning the next free color.
+func (kb *KB) ColorFor(name string) Color {
+	if c, ok := kb.colorByNm[name]; ok {
+		return c
+	}
+	c := kb.nextColor
+	if c == ColorSubnode {
+		panic("semnet: color space exhausted")
+	}
+	kb.nextColor++
+	kb.colorByNm[name] = c
+	kb.colorNames[c] = name
+	return c
+}
+
+// ColorName returns the interned name for c, or a numeric placeholder.
+func (kb *KB) ColorName(c Color) string {
+	if n, ok := kb.colorNames[c]; ok {
+		return n
+	}
+	if c == ColorSubnode {
+		return "<subnode>"
+	}
+	return fmt.Sprintf("color#%d", c)
+}
+
+// Names resolves a set of node IDs to sorted canonical concept names,
+// deduplicating preprocessor subnodes.
+func (kb *KB) Names(ids []NodeID) []string {
+	seen := make(map[NodeID]bool, len(ids))
+	var out []string
+	for _, id := range ids {
+		c := kb.Canonical(id)
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, kb.Name(c))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Preprocess splits every node whose fanout exceeds RelationSlots into a
+// tree of continuation subnodes, as the paper's knowledge-base
+// preprocessor does ("Nodes with fanout greater than 16 are divided into
+// subnodes"). The original links are grouped into full subnode slot
+// banks and the node keeps zero-weight RelCont links to them; groups of
+// subnodes that still exceed the slot budget split again, so expansion of
+// a wide node proceeds through a shallow tree whose subnodes can be
+// processed in parallel rather than down a serial chain. Each subnode
+// carries ColorSubnode and inherits the parent's propagation function.
+// Preprocess is idempotent.
+func (kb *KB) Preprocess() {
+	for id := 0; id < len(kb.nodes); id++ {
+		// Appended subnodes extend the loop range and are re-checked;
+		// a node whose continuation fanout still exceeds the budget is
+		// revisited immediately.
+		n := &kb.nodes[id]
+		if len(n.Out) <= RelationSlots {
+			continue
+		}
+		links := n.Out
+		canonical := kb.Name(kb.Canonical(NodeID(id)))
+		fn := n.Fn
+		var conts []Link
+		for start := 0; start < len(links); start += RelationSlots {
+			end := start + RelationSlots
+			if end > len(links) {
+				end = len(links)
+			}
+			group := append([]Link(nil), links[start:end]...)
+			subID := NodeID(len(kb.nodes))
+			subName := fmt.Sprintf("%s~%d", canonical, subID)
+			kb.nodes = append(kb.nodes, Node{
+				Name:   subName,
+				Color:  ColorSubnode,
+				Fn:     fn,
+				Out:    group,
+				parent: NodeID(id),
+			})
+			kb.byName[subName] = subID
+			conts = append(conts, Link{Rel: RelCont, Weight: 0, To: subID})
+		}
+		kb.nodes[id].Out = conts // reacquired: appends moved the backing array
+		kb.numLinks += len(conts)
+		if len(conts) > RelationSlots {
+			id-- // split this node's continuation links again
+		}
+	}
+}
+
+// Validate checks structural invariants: link targets exist, colors and
+// markers are in range, and no post-Preprocess node exceeds the slot
+// budget. It returns the first violation found.
+func (kb *KB) Validate() error {
+	for id := range kb.nodes {
+		n := &kb.nodes[id]
+		if len(n.Out) > RelationSlots {
+			return fmt.Errorf("semnet: node %q fanout %d exceeds %d slots (run Preprocess)",
+				n.Name, len(n.Out), RelationSlots)
+		}
+		for _, l := range n.Out {
+			if int(l.To) >= len(kb.nodes) {
+				return fmt.Errorf("semnet: node %q links to missing node %d", n.Name, l.To)
+			}
+		}
+		if !n.Fn.Valid() {
+			return fmt.Errorf("semnet: node %q has invalid function %d", n.Name, n.Fn)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,349 @@
+package semnet
+
+import "fmt"
+
+// Store holds one cluster's partition of the knowledge base in the three
+// physical tables of the paper's Fig. 4:
+//
+//   - the node table (color, function, complex-marker value and origin
+//     registers, indexed by local node number),
+//   - the marker status table (one bit per node per marker, packed into
+//     32-bit status words so W=32 nodes are processed per word operation),
+//   - the relation table (up to 16 outgoing links per node).
+//
+// A Store is owned by a single cluster and is not safe for concurrent
+// mutation; the cluster's multiport-memory discipline (internal/mpmem)
+// serializes writers exactly as the hardware arbiter does.
+type Store struct {
+	capacity int
+	n        int // local nodes stored
+
+	// Node table.
+	color  []Color
+	fn     []FuncCode
+	global []NodeID // local -> global ID
+
+	// Marker status table: status[m][w] bit b = marker m set at local
+	// node w*32+b.
+	status [NumMarkers][]uint32
+
+	// Complex-marker registers, allocated on first use per marker.
+	value  [NumComplexMarkers][]float32
+	origin [NumComplexMarkers][]NodeID
+
+	// Relation table.
+	rel [][]Link
+}
+
+// NewStore returns a store with room for capacity local nodes.
+func NewStore(capacity int) *Store {
+	return &Store{
+		capacity: capacity,
+		color:    make([]Color, 0, capacity),
+		fn:       make([]FuncCode, 0, capacity),
+		global:   make([]NodeID, 0, capacity),
+		rel:      make([][]Link, 0, capacity),
+	}
+}
+
+// Words reports the number of 32-bit status words per marker row.
+func (s *Store) Words() int { return (s.n + WordBits - 1) / WordBits }
+
+// NumNodes reports the number of local nodes stored.
+func (s *Store) NumNodes() int { return s.n }
+
+// Capacity reports the store's local node capacity.
+func (s *Store) Capacity() int { return s.capacity }
+
+// AddNode appends a node to the node table and returns its local index.
+func (s *Store) AddNode(global NodeID, color Color, fn FuncCode) (int, error) {
+	if s.n >= s.capacity {
+		return 0, fmt.Errorf("%w: cluster store full (%d nodes)", ErrCapacity, s.capacity)
+	}
+	local := s.n
+	s.n++
+	s.color = append(s.color, color)
+	s.fn = append(s.fn, fn)
+	s.global = append(s.global, global)
+	s.rel = append(s.rel, nil)
+	if s.n > len(s.status[0])*WordBits {
+		for m := range s.status {
+			s.status[m] = append(s.status[m], 0)
+		}
+		for m := range s.value {
+			if s.value[m] != nil {
+				s.value[m] = append(s.value[m], make([]float32, WordBits)...)
+				s.origin[m] = append(s.origin[m], make([]NodeID, WordBits)...)
+			}
+		}
+	}
+	return local, nil
+}
+
+// SetLinks installs the relation-table entries for a local node.
+func (s *Store) SetLinks(local int, links []Link) error {
+	if local < 0 || local >= s.n {
+		return fmt.Errorf("%w: local %d", ErrUnknownNode, local)
+	}
+	if len(links) > RelationSlots {
+		return fmt.Errorf("%w: %d links exceed %d relation slots", ErrCapacity, len(links), RelationSlots)
+	}
+	s.rel[local] = links
+	return nil
+}
+
+// Global returns the global NodeID of a local node.
+func (s *Store) Global(local int) NodeID { return s.global[local] }
+
+// Color returns the node-table color of a local node.
+func (s *Store) Color(local int) Color { return s.color[local] }
+
+// Fn returns the node-table propagation function of a local node.
+func (s *Store) Fn(local int) FuncCode { return s.fn[local] }
+
+// Links returns the relation-table entries of a local node. The returned
+// slice is owned by the store and must not be modified.
+func (s *Store) Links(local int) []Link { return s.rel[local] }
+
+func (s *Store) ensureValues(m MarkerID) {
+	if s.value[m] == nil {
+		words := len(s.status[m])
+		s.value[m] = make([]float32, words*WordBits)
+		s.origin[m] = make([]NodeID, words*WordBits)
+	}
+}
+
+// Set sets marker m at a local node and reports whether the bit was
+// previously clear (the "newly activated" signal that drives propagation).
+func (s *Store) Set(local int, m MarkerID) bool {
+	w, b := local/WordBits, uint(local%WordBits)
+	old := s.status[m][w]
+	s.status[m][w] = old | 1<<b
+	return old&(1<<b) == 0
+}
+
+// Clear clears marker m at a local node.
+func (s *Store) Clear(local int, m MarkerID) {
+	w, b := local/WordBits, uint(local%WordBits)
+	s.status[m][w] &^= 1 << b
+}
+
+// Test reports whether marker m is set at a local node.
+func (s *Store) Test(local int, m MarkerID) bool {
+	w, b := local/WordBits, uint(local%WordBits)
+	return s.status[m][w]&(1<<b) != 0
+}
+
+// SetValue writes the complex-marker value and origin registers.
+// Binary markers have no registers; the call is ignored for them.
+func (s *Store) SetValue(local int, m MarkerID, v float32, origin NodeID) {
+	if !m.IsComplex() {
+		return
+	}
+	s.ensureValues(m)
+	s.value[m][local] = v
+	s.origin[m][local] = origin
+}
+
+// Value reads a complex marker's value register (0 for binary markers or
+// never-written registers).
+func (s *Store) Value(local int, m MarkerID) float32 {
+	if !m.IsComplex() || s.value[m] == nil {
+		return 0
+	}
+	return s.value[m][local]
+}
+
+// Origin reads a complex marker's origin-address register.
+func (s *Store) Origin(local int, m MarkerID) NodeID {
+	if !m.IsComplex() || s.origin[m] == nil {
+		return 0
+	}
+	return s.origin[m][local]
+}
+
+// lastWordMask returns the valid-bit mask for the final status word.
+func (s *Store) lastWordMask() uint32 {
+	r := uint(s.n % WordBits)
+	if r == 0 {
+		return ^uint32(0)
+	}
+	return (1 << r) - 1
+}
+
+// And computes m3 = m1 AND m2 over the whole partition, one status word
+// (32 nodes) at a time. For a complex m3, fn combines the operand values
+// at every newly-set node. It returns the number of words processed, the
+// MU's unit of work for global boolean operations.
+func (s *Store) And(m1, m2, m3 MarkerID, fn FuncCode) int {
+	words := s.Words()
+	for w := 0; w < words; w++ {
+		w1, w2 := s.status[m1][w], s.status[m2][w]
+		res := w1 & w2
+		s.status[m3][w] = res
+		if res != 0 && m3.IsComplex() {
+			s.combineValues(w, res, w1, w2, m1, m2, m3, fn)
+		}
+	}
+	return words
+}
+
+// Or computes m3 = m1 OR m2 over the whole partition and returns words
+// processed. Values for a complex m3 are merged from whichever operand is
+// set (m1 preferred when both are).
+func (s *Store) Or(m1, m2, m3 MarkerID, fn FuncCode) int {
+	words := s.Words()
+	for w := 0; w < words; w++ {
+		w1, w2 := s.status[m1][w], s.status[m2][w]
+		res := w1 | w2
+		s.status[m3][w] = res
+		if res != 0 && m3.IsComplex() {
+			s.combineValues(w, res, w1, w2, m1, m2, m3, fn)
+		}
+	}
+	return words
+}
+
+// Not computes m2 = NOT m1 over the valid node range and returns words
+// processed. Bits beyond the partition's node count remain clear.
+func (s *Store) Not(m1, m2 MarkerID) int {
+	words := s.Words()
+	for w := 0; w < words; w++ {
+		mask := ^uint32(0)
+		if w == words-1 {
+			mask = s.lastWordMask()
+		}
+		s.status[m2][w] = ^s.status[m1][w] & mask
+	}
+	return words
+}
+
+// combineValues fills m3's value registers for every set bit in word w.
+// w1 and w2 are the operands' status words sampled BEFORE m3 was written,
+// so the guard is correct even when m3 aliases an operand. Value registers
+// of markers that were not set contribute zero: a cleared marker's stale
+// register contents must not leak into results.
+func (s *Store) combineValues(w int, bits, w1, w2 uint32, m1, m2, m3 MarkerID, fn FuncCode) {
+	s.ensureValues(m3)
+	for bits != 0 {
+		b := trailingZeros32(bits)
+		bits &^= 1 << uint(b)
+		local := w*WordBits + b
+		set1 := w1&(1<<uint(b)) != 0
+		set2 := w2&(1<<uint(b)) != 0
+		// The function combines only values that exist: where a single
+		// operand is set (OR), its value passes through unchanged, so
+		// min/mul combinations are not poisoned by a phantom zero.
+		var res float32
+		switch {
+		case set1 && set2:
+			res = fn.Apply(s.Value(local, m1), s.Value(local, m2))
+		case set1:
+			res = s.Value(local, m1)
+		default:
+			res = s.Value(local, m2)
+		}
+		switch {
+		case m1.IsComplex() && set1:
+			s.origin[m3][local] = s.Origin(local, m1)
+		case m2.IsComplex() && set2:
+			s.origin[m3][local] = s.Origin(local, m2)
+		}
+		s.value[m3][local] = res
+	}
+}
+
+// SetAll sets marker m at every node with the given value and returns
+// words processed (the SET-MARKER sweep).
+func (s *Store) SetAll(m MarkerID, v float32) int {
+	words := s.Words()
+	for w := 0; w < words; w++ {
+		mask := ^uint32(0)
+		if w == words-1 {
+			mask = s.lastWordMask()
+		}
+		s.status[m][w] = mask
+	}
+	if m.IsComplex() {
+		s.ensureValues(m)
+		for i := 0; i < s.n; i++ {
+			s.value[m][i] = v
+		}
+	}
+	return words
+}
+
+// ClearAll clears marker m everywhere and returns words processed.
+func (s *Store) ClearAll(m MarkerID) int {
+	words := s.Words()
+	for w := 0; w < words; w++ {
+		s.status[m][w] = 0
+	}
+	return words
+}
+
+// FuncAll applies fn with the given operand to the value register of every
+// node where m is set (FUNC-MARKER) and returns words processed.
+func (s *Store) FuncAll(m MarkerID, fn FuncCode, operand float32) int {
+	words := s.Words()
+	if !m.IsComplex() {
+		return words
+	}
+	s.ensureValues(m)
+	for w := 0; w < words; w++ {
+		bits := s.status[m][w]
+		for bits != 0 {
+			b := trailingZeros32(bits)
+			bits &^= 1 << uint(b)
+			local := w*WordBits + b
+			s.value[m][local] = fn.Apply(s.value[m][local], operand)
+		}
+	}
+	return words
+}
+
+// ForEachSet calls f for every local node where m is set, in ascending
+// order, and returns the number of status words scanned.
+func (s *Store) ForEachSet(m MarkerID, f func(local int)) int {
+	words := s.Words()
+	for w := 0; w < words; w++ {
+		bits := s.status[m][w]
+		for bits != 0 {
+			b := trailingZeros32(bits)
+			bits &^= 1 << uint(b)
+			f(w*WordBits + b)
+		}
+	}
+	return words
+}
+
+// CountSet reports how many local nodes have m set.
+func (s *Store) CountSet(m MarkerID) int {
+	n := 0
+	for _, w := range s.status[m] {
+		n += onesCount32(w)
+	}
+	return n
+}
+
+// trailingZeros32 is math/bits.TrailingZeros32, reimplemented locally so
+// hot loops stay allocation- and import-free in this package's core table
+// code. (The de Bruijn method used by the standard library.)
+func trailingZeros32(x uint32) int {
+	if x == 0 {
+		return 32
+	}
+	return int(deBruijn32tab[(x&-x)*0x077CB531>>27])
+}
+
+var deBruijn32tab = [32]byte{
+	0, 1, 28, 2, 29, 14, 24, 3, 30, 22, 20, 15, 25, 17, 4, 8,
+	31, 27, 13, 23, 21, 19, 16, 7, 26, 12, 18, 6, 11, 5, 10, 9,
+}
+
+func onesCount32(x uint32) int {
+	x -= (x >> 1) & 0x55555555
+	x = x&0x33333333 + (x>>2)&0x33333333
+	x = (x + x>>4) & 0x0f0f0f0f
+	return int(x * 0x01010101 >> 24)
+}

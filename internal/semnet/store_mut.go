@@ -1,0 +1,47 @@
+package semnet
+
+import "fmt"
+
+// Runtime node-maintenance operations (the CREATE / DELETE / SET-COLOR and
+// MARKER-CREATE / MARKER-DELETE instruction group). They mutate a loaded
+// partition in place; the machine serializes them against in-flight
+// propagation exactly as the PU does.
+
+// SetColor rewrites the node-table color of a local node.
+func (s *Store) SetColor(local int, c Color) error {
+	if local < 0 || local >= s.n {
+		return fmt.Errorf("%w: local %d", ErrUnknownNode, local)
+	}
+	s.color[local] = c
+	return nil
+}
+
+// AddLink appends one relation-table entry at runtime. Unlike the host
+// preprocessor, the array cannot split subnodes on the fly, so exceeding
+// the slot budget is an error — the same limit the hardware has.
+func (s *Store) AddLink(local int, l Link) error {
+	if local < 0 || local >= s.n {
+		return fmt.Errorf("%w: local %d", ErrUnknownNode, local)
+	}
+	if len(s.rel[local]) >= RelationSlots {
+		return fmt.Errorf("%w: node %d relation slots full", ErrCapacity, s.global[local])
+	}
+	s.rel[local] = append(s.rel[local], l)
+	return nil
+}
+
+// RemoveLink deletes the first relation-table entry matching (rel, to) and
+// reports whether one was found.
+func (s *Store) RemoveLink(local int, rel RelType, to NodeID) bool {
+	if local < 0 || local >= s.n {
+		return false
+	}
+	links := s.rel[local]
+	for i, l := range links {
+		if l.Rel == rel && l.To == to {
+			s.rel[local] = append(links[:i], links[i+1:]...)
+			return true
+		}
+	}
+	return false
+}

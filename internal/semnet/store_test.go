@@ -1,0 +1,276 @@
+package semnet
+
+import (
+	"errors"
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newStore(t *testing.T, n int) *Store {
+	t.Helper()
+	s := NewStore(n)
+	for i := 0; i < n; i++ {
+		if _, err := s.AddNode(NodeID(i), Color(i%7), FuncAdd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestStoreBasics(t *testing.T) {
+	s := newStore(t, 70) // crosses two status words + partial third
+	if s.NumNodes() != 70 || s.Capacity() != 70 {
+		t.Fatal("size bookkeeping")
+	}
+	if s.Words() != 3 {
+		t.Fatalf("Words() = %d, want 3", s.Words())
+	}
+	if s.Global(5) != NodeID(5) || s.Color(5) != Color(5) || s.Fn(5) != FuncAdd {
+		t.Fatal("node table round trip")
+	}
+	if _, err := s.AddNode(NodeID(99), 0, FuncNop); !errors.Is(err, ErrCapacity) {
+		t.Fatalf("overfill: %v", err)
+	}
+}
+
+func TestStoreMarkerBits(t *testing.T) {
+	s := newStore(t, 70)
+	m := MarkerID(3)
+	if !s.Set(33, m) {
+		t.Error("first Set must report newly-set")
+	}
+	if s.Set(33, m) {
+		t.Error("second Set must report already-set")
+	}
+	if !s.Test(33, m) || s.Test(34, m) {
+		t.Error("Test after Set")
+	}
+	if got := s.CountSet(m); got != 1 {
+		t.Errorf("CountSet = %d", got)
+	}
+	s.Clear(33, m)
+	if s.Test(33, m) || s.CountSet(m) != 0 {
+		t.Error("Clear failed")
+	}
+}
+
+func TestStoreValueRegisters(t *testing.T) {
+	s := newStore(t, 40)
+	m := MarkerID(1)
+	s.Set(7, m)
+	s.SetValue(7, m, 2.5, NodeID(3))
+	if s.Value(7, m) != 2.5 || s.Origin(7, m) != NodeID(3) {
+		t.Fatal("value/origin registers")
+	}
+	// Binary markers have no registers.
+	b := Binary(0)
+	s.SetValue(7, b, 9, NodeID(1))
+	if s.Value(7, b) != 0 || s.Origin(7, b) != 0 {
+		t.Error("binary markers must not store values")
+	}
+}
+
+func TestSetAllClearAll(t *testing.T) {
+	s := newStore(t, 70)
+	m := MarkerID(2)
+	words := s.SetAll(m, 1.5)
+	if words != 3 {
+		t.Fatalf("SetAll words = %d", words)
+	}
+	if s.CountSet(m) != 70 {
+		t.Fatalf("SetAll count = %d", s.CountSet(m))
+	}
+	for i := 0; i < 70; i++ {
+		if s.Value(i, m) != 1.5 {
+			t.Fatalf("value at %d = %v", i, s.Value(i, m))
+		}
+	}
+	s.ClearAll(m)
+	if s.CountSet(m) != 0 {
+		t.Error("ClearAll")
+	}
+}
+
+func TestNotMasksTail(t *testing.T) {
+	s := newStore(t, 70)
+	m1, m2 := MarkerID(0), MarkerID(1)
+	s.Set(0, m1)
+	s.Not(m1, m2)
+	// NOT of a single set bit over 70 nodes: 69 set, and crucially no
+	// phantom bits beyond node 69 in the partial third word.
+	if got := s.CountSet(m2); got != 69 {
+		t.Fatalf("NOT count = %d, want 69", got)
+	}
+}
+
+func TestAndOrValues(t *testing.T) {
+	s := newStore(t, 64)
+	a, b, out := MarkerID(0), MarkerID(1), MarkerID(2)
+	s.Set(5, a)
+	s.SetValue(5, a, 3, NodeID(50))
+	s.Set(5, b)
+	s.SetValue(5, b, 4, NodeID(51))
+	s.Set(9, a)
+	s.SetValue(9, a, 7, NodeID(52))
+
+	s.And(a, b, out, FuncAdd)
+	if s.CountSet(out) != 1 || !s.Test(5, out) {
+		t.Fatal("AND bits")
+	}
+	if s.Value(5, out) != 7 {
+		t.Errorf("AND value = %v, want 3+4", s.Value(5, out))
+	}
+	if s.Origin(5, out) != NodeID(50) {
+		t.Errorf("AND origin = %v, want m1's", s.Origin(5, out))
+	}
+
+	s.Or(a, b, out, FuncAdd)
+	if s.CountSet(out) != 2 {
+		t.Fatal("OR bits")
+	}
+	if s.Value(9, out) != 7 {
+		t.Errorf("OR value at 9 = %v (only m1 set: stale m2 register must not leak)", s.Value(9, out))
+	}
+}
+
+// The critical aliasing case: OR accumulating into its own first operand
+// must not resurrect stale value registers of cleared markers.
+func TestOrAliasingNoStaleValues(t *testing.T) {
+	s := newStore(t, 32)
+	acc, x := MarkerID(0), MarkerID(1)
+	// Pollute acc's register at node 3, then clear it.
+	s.Set(3, acc)
+	s.SetValue(3, acc, 100, 0)
+	s.ClearAll(acc)
+
+	s.Set(3, x)
+	s.SetValue(3, x, 2, 0)
+	s.Or(acc, x, acc, FuncAdd) // acc |= x, values accumulate
+	if got := s.Value(3, acc); got != 2 {
+		t.Fatalf("aliased OR value = %v, want 2 (stale 100 leaked)", got)
+	}
+	// Second accumulation now legitimately adds.
+	s.Or(acc, x, acc, FuncAdd)
+	if got := s.Value(3, acc); got != 4 {
+		t.Fatalf("second aliased OR = %v, want 4", got)
+	}
+}
+
+func TestFuncAll(t *testing.T) {
+	s := newStore(t, 40)
+	m := MarkerID(0)
+	s.Set(3, m)
+	s.SetValue(3, m, 10, 0)
+	s.Set(20, m)
+	s.SetValue(20, m, 1, 0)
+	s.FuncAll(m, FuncAdd, 5)
+	if s.Value(3, m) != 15 || s.Value(20, m) != 6 {
+		t.Fatalf("FuncAll: %v, %v", s.Value(3, m), s.Value(20, m))
+	}
+	// Binary marker: no-op but still sweeps.
+	if words := s.FuncAll(Binary(0), FuncAdd, 5); words != s.Words() {
+		t.Error("FuncAll word count")
+	}
+}
+
+func TestForEachSetAscending(t *testing.T) {
+	s := newStore(t, 100)
+	m := MarkerID(4)
+	want := []int{0, 31, 32, 33, 64, 99}
+	for _, i := range want {
+		s.Set(i, m)
+	}
+	var got []int
+	s.ForEachSet(m, func(local int) { got = append(got, local) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEachSet visited %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEachSet order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStoreMutations(t *testing.T) {
+	s := newStore(t, 8)
+	l := Link{Rel: 4, Weight: 1, To: NodeID(2)}
+	if err := s.AddLink(1, l); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Links(1)) != 1 {
+		t.Fatal("AddLink")
+	}
+	if !s.RemoveLink(1, 4, NodeID(2)) {
+		t.Fatal("RemoveLink should find the link")
+	}
+	if s.RemoveLink(1, 4, NodeID(2)) {
+		t.Fatal("RemoveLink should report missing")
+	}
+	for i := 0; i < RelationSlots; i++ {
+		if err := s.AddLink(1, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.AddLink(1, l); !errors.Is(err, ErrCapacity) {
+		t.Fatalf("slot overflow: %v", err)
+	}
+	if err := s.SetColor(1, Color(9)); err != nil || s.Color(1) != Color(9) {
+		t.Fatal("SetColor")
+	}
+	if err := s.SetColor(99, 0); err == nil {
+		t.Fatal("SetColor out of range must fail")
+	}
+}
+
+// Bit-twiddling helpers must agree with math/bits.
+func TestBitHelpersQuick(t *testing.T) {
+	f := func(x uint32) bool {
+		return onesCount32(x) == bits.OnesCount32(x) &&
+			trailingZeros32(x) == bits.TrailingZeros32(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Boolean table ops must match a per-bit reference model on random state.
+func TestBooleanOpsQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(130)
+		s := newStore(t, n)
+		a, b, out := MarkerID(0), MarkerID(1), MarkerID(2)
+		ref := make(map[int][2]bool)
+		for i := 0; i < n; i++ {
+			sa, sb := rng.Intn(2) == 1, rng.Intn(2) == 1
+			if sa {
+				s.Set(i, a)
+			}
+			if sb {
+				s.Set(i, b)
+			}
+			ref[i] = [2]bool{sa, sb}
+		}
+		s.And(a, b, out, FuncNop)
+		for i := 0; i < n; i++ {
+			if s.Test(i, out) != (ref[i][0] && ref[i][1]) {
+				t.Fatalf("AND mismatch at %d", i)
+			}
+		}
+		s.Or(a, b, out, FuncNop)
+		for i := 0; i < n; i++ {
+			if s.Test(i, out) != (ref[i][0] || ref[i][1]) {
+				t.Fatalf("OR mismatch at %d", i)
+			}
+		}
+		s.Not(a, out)
+		for i := 0; i < n; i++ {
+			if s.Test(i, out) != !ref[i][0] {
+				t.Fatalf("NOT mismatch at %d", i)
+			}
+		}
+	}
+}

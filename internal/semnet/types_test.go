@@ -1,0 +1,92 @@
+package semnet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarkerClasses(t *testing.T) {
+	if NumMarkers != 128 || NumComplexMarkers != 64 || NumBinaryMarkers != 64 {
+		t.Fatal("marker capacity constants drifted from the paper")
+	}
+	for i := 0; i < NumComplexMarkers; i++ {
+		if !MarkerID(i).IsComplex() {
+			t.Fatalf("marker %d should be complex", i)
+		}
+	}
+	for i := 0; i < NumBinaryMarkers; i++ {
+		m := Binary(i)
+		if m.IsComplex() {
+			t.Fatalf("Binary(%d) = %d should not be complex", i, m)
+		}
+		if !m.Valid() {
+			t.Fatalf("Binary(%d) invalid", i)
+		}
+	}
+	if MarkerID(128).Valid() {
+		t.Error("marker 128 must be invalid")
+	}
+}
+
+func TestFuncApply(t *testing.T) {
+	cases := []struct {
+		fn   FuncCode
+		v, w float32
+		want float32
+	}{
+		{FuncNop, 3, 9, 3},
+		{FuncAdd, 3, 9, 12},
+		{FuncMin, 3, 9, 3},
+		{FuncMin, 9, 3, 3},
+		{FuncMax, 3, 9, 9},
+		{FuncMul, 3, 9, 27},
+		{FuncDec, 9, 3, 6},
+	}
+	for _, c := range cases {
+		if got := c.fn.Apply(c.v, c.w); got != c.want {
+			t.Errorf("%v.Apply(%v,%v) = %v, want %v", c.fn, c.v, c.w, got, c.want)
+		}
+	}
+}
+
+func TestFuncValid(t *testing.T) {
+	for _, fn := range []FuncCode{FuncNop, FuncAdd, FuncMin, FuncMax, FuncMul, FuncDec} {
+		if !fn.Valid() {
+			t.Errorf("%v should be valid", fn)
+		}
+		if fn.String() == "" {
+			t.Errorf("%v has empty name", fn)
+		}
+	}
+	if FuncCode(250).Valid() {
+		t.Error("function 250 must be invalid")
+	}
+}
+
+// Merge must be commutative and associative for every function code so
+// that final marker state is independent of message arrival order.
+func TestMergeOrderFree(t *testing.T) {
+	fns := []FuncCode{FuncNop, FuncAdd, FuncMin, FuncMax, FuncMul, FuncDec}
+	f := func(a, b, c float32) bool {
+		if math.IsNaN(float64(a)) || math.IsNaN(float64(b)) || math.IsNaN(float64(c)) {
+			return true
+		}
+		for _, fn := range fns {
+			if fn.Merge(a, b) != fn.Merge(b, a) {
+				return false
+			}
+			if fn.Merge(fn.Merge(a, b), c) != fn.Merge(a, fn.Merge(b, c)) {
+				return false
+			}
+			// Idempotence: re-delivery of the same value is a no-op.
+			if fn.Merge(a, a) != a {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

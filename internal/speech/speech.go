@@ -1,0 +1,350 @@
+// Package speech implements a PASS-style speech understanding workload,
+// the second application the paper analyzes ("The PASS speech
+// understanding program had β_min = 2.8 and β_max = 6").
+//
+// The input is a word lattice: for each time slot, several alternative
+// word hypotheses with acoustic costs. All alternatives of all slots are
+// activated under independent markers — the processing unit overlaps
+// their constraint spreads (β-parallelism between competing hypotheses) —
+// and the knowledge base's concept sequences rescore the lattice: the
+// best-completing sequence selects, per slot, the alternative that
+// satisfies its constraints most specifically, which can overturn the
+// acoustically preferred word.
+package speech
+
+import (
+	"fmt"
+	"math"
+
+	"snap1/internal/isa"
+	"snap1/internal/kbgen"
+	"snap1/internal/machine"
+	"snap1/internal/rules"
+	"snap1/internal/semnet"
+	"snap1/internal/timing"
+	"snap1/internal/trace"
+)
+
+// Capacity of the per-hypothesis marker allocation: three complex markers
+// (activation, semantic spread, syntactic spread) per (slot, alternative).
+const (
+	MaxSlots        = 5
+	MaxAlternatives = 3
+)
+
+// Alternative is one word hypothesis with its acoustic cost (lower is
+// acoustically better).
+type Alternative struct {
+	Word     string
+	Acoustic float32
+}
+
+// Slot is the competing hypotheses for one time position.
+type Slot []Alternative
+
+// Lattice is the recognizer output to be understood.
+type Lattice []Slot
+
+// Result is one decoded lattice.
+type Result struct {
+	Transcript []string // chosen word per slot
+	Winner     string   // completed concept sequence
+	Score      float32  // combined acoustic + specificity score
+
+	Time         timing.Time
+	Instructions int
+	Profile      *trace.Profile
+	MeanBeta     float64 // measured overlap across the decode's phases
+}
+
+// Marker allocation.
+func mWord(i, j int) semnet.MarkerID { return semnet.MarkerID(i*MaxAlternatives + j) }      // 0..14
+func mSem(i, j int) semnet.MarkerID  { return semnet.MarkerID(15 + i*MaxAlternatives + j) } // 15..29
+func mSyn(i, j int) semnet.MarkerID  { return semnet.MarkerID(30 + i*MaxAlternatives + j) } // 30..44
+
+const (
+	mElem   = semnet.MarkerID(45) // merged element activation (min cost)
+	mSat    = semnet.MarkerID(46) // gated, scored elements
+	mRoot   = semnet.MarkerID(47) // candidate scores (max over elements)
+	mFinal  = semnet.MarkerID(48) // complete candidates
+	mSlotEx = semnet.MarkerID(49) // per-alternative extraction scratch
+)
+
+var (
+	bElemK    = func(k int) semnet.MarkerID { return semnet.Binary(k) } // 0..3
+	bAllElem  = semnet.Binary(4)
+	bSlotTmp  = semnet.Binary(5)
+	bSat      = func(i, j int) semnet.MarkerID { return semnet.Binary(8 + i*MaxAlternatives + j) } // 8..22
+	bSatElems = semnet.Binary(24)
+	bNotAct   = semnet.Binary(25)
+	bCand     = semnet.Binary(26)
+	bCandEl   = semnet.Binary(27)
+	bUnsat    = semnet.Binary(28)
+	bCancel   = semnet.Binary(29)
+	bOK       = semnet.Binary(30)
+	bWin1     = semnet.Binary(31)
+	bWinSel   = semnet.Binary(32)
+	bWinElems = semnet.Binary(33)
+)
+
+// Decoder binds the understanding pipeline to a machine holding a
+// generated linguistic knowledge base.
+type Decoder struct {
+	m *machine.Machine
+	g *kbgen.Generated
+}
+
+// NewDecoder returns a decoder over m, which must already hold g.KB.
+func NewDecoder(m *machine.Machine, g *kbgen.Generated) *Decoder {
+	return &Decoder{m: m, g: g}
+}
+
+// Decode understands one lattice.
+func (d *Decoder) Decode(lat Lattice) (*Result, error) {
+	if len(lat) == 0 || len(lat) > MaxSlots {
+		return nil, fmt.Errorf("speech: lattice must have 1..%d slots, got %d", MaxSlots, len(lat))
+	}
+	words := make([][]semnet.NodeID, len(lat))
+	for i, slot := range lat {
+		if len(slot) == 0 || len(slot) > MaxAlternatives {
+			return nil, fmt.Errorf("speech: slot %d has %d alternatives, want 1..%d",
+				i, len(slot), MaxAlternatives)
+		}
+		for _, alt := range slot {
+			id, ok := d.g.KB.Lookup(alt.Word)
+			if !ok {
+				return nil, fmt.Errorf("speech: hypothesis %q not in lexicon", alt.Word)
+			}
+			words[i] = append(words[i], id)
+		}
+	}
+
+	res := &Result{Profile: &trace.Profile{}}
+	p1 := d.matchProgram(lat, words)
+	r1, err := d.m.Run(p1)
+	if err != nil {
+		return nil, err
+	}
+	res.accumulate(p1, r1)
+
+	winner, score, ok := bestBasic(d.g, r1.Collected(0))
+	if !ok {
+		// Nothing completes: fall back to the acoustically best path.
+		res.Transcript = acousticBest(lat)
+		res.finish()
+		return res, nil
+	}
+	res.Winner = d.g.KB.Name(d.g.KB.Canonical(winner))
+	res.Score = score
+
+	// Extraction: mark the winner's elements, then per (slot,
+	// alternative) measure how specifically the hypothesis satisfied
+	// them; the controller picks each slot's argmin.
+	p2 := d.extractProgram(lat, winner)
+	r2, err := d.m.Run(p2)
+	if err != nil {
+		return nil, err
+	}
+	res.accumulate(p2, r2)
+	res.Transcript = d.pickTranscript(lat, r2)
+	res.finish()
+	return res, nil
+}
+
+func (r *Result) accumulate(p *isa.Program, run *machine.Result) {
+	r.Time += run.Time
+	r.Instructions += p.Len()
+	r.Profile.Merge(run.Profile)
+}
+
+func (r *Result) finish() {
+	if n := len(r.Profile.PhaseBetas); n > 0 {
+		sum := 0
+		for _, b := range r.Profile.PhaseBetas {
+			sum += b
+		}
+		r.MeanBeta = float64(sum) / float64(n)
+	}
+}
+
+// matchProgram activates every hypothesis with its acoustic cost as the
+// marker's starting value, spreads constraints, gates by slot order, and
+// scores candidate sequences: acoustic and semantic costs accumulate in
+// the same complex-marker value.
+func (d *Decoder) matchProgram(lat Lattice, words [][]semnet.NodeID) *isa.Program {
+	g := d.g
+	pr := isa.NewProgram()
+
+	for i := range lat {
+		for j := range lat[i] {
+			pr.ClearM(mWord(i, j))
+			pr.ClearM(mSem(i, j))
+			pr.ClearM(mSyn(i, j))
+			pr.ClearM(bSat(i, j))
+		}
+	}
+	for _, m := range []semnet.MarkerID{
+		mElem, mSat, mRoot, mFinal, mSlotEx,
+		bElemK(0), bElemK(1), bElemK(2), bElemK(3), bAllElem, bSlotTmp,
+		bSatElems, bNotAct, bCand, bCandEl, bUnsat, bCancel, bOK, bWin1,
+		bWinSel, bWinElems,
+	} {
+		pr.ClearM(m)
+	}
+
+	// Hypothesis activation: the SEARCH value seeds the marker with the
+	// acoustic cost, so constraint spread adds semantic distance on top.
+	for i := range lat {
+		for j, alt := range lat[i] {
+			pr.SearchNode(words[i][j], mWord(i, j), alt.Acoustic)
+		}
+	}
+	semRule := rules.Spread(g.Rel.IsA, g.Rel.SemOf)
+	synRule := rules.Spread(g.Rel.IsA, g.Rel.SynOf)
+	for i := range lat {
+		for j := range lat[i] {
+			pr.Propagate(mWord(i, j), mSem(i, j), semRule, semnet.FuncAdd)
+			pr.Propagate(mWord(i, j), mSyn(i, j), synRule, semnet.FuncAdd)
+		}
+	}
+
+	// Element masks and per-hypothesis strict satisfaction.
+	for k := 0; k < kbgen.MaxSeqElements; k++ {
+		pr.SearchColor(g.Col.Element[k], bElemK(k), 0)
+	}
+	pr.Or(bElemK(0), bElemK(1), bAllElem, semnet.FuncNop)
+	pr.Or(bAllElem, bElemK(2), bAllElem, semnet.FuncNop)
+	pr.Or(bAllElem, bElemK(3), bAllElem, semnet.FuncNop)
+	for i := range lat {
+		for j := range lat[i] {
+			pr.And(mSem(i, j), mSyn(i, j), bSat(i, j), semnet.FuncNop)
+		}
+	}
+
+	// Slot-order gating: element slot k accepts hypotheses from lattice
+	// slot i >= k.
+	for k := 0; k < kbgen.MaxSeqElements && k < len(lat); k++ {
+		for i := k; i < len(lat); i++ {
+			for j := range lat[i] {
+				pr.And(bSat(i, j), bElemK(k), bSlotTmp, semnet.FuncNop)
+				pr.Or(bSatElems, bSlotTmp, bSatElems, semnet.FuncNop)
+			}
+		}
+	}
+
+	// Combined scores: the cheapest (acoustic + semantic) hypothesis per
+	// element survives the min-merge.
+	first := true
+	for i := range lat {
+		for j := range lat[i] {
+			if first {
+				pr.Or(mSem(i, j), mSem(i, j), mElem, semnet.FuncMin)
+				first = false
+				continue
+			}
+			pr.Or(mElem, mSem(i, j), mElem, semnet.FuncMin)
+		}
+	}
+	pr.And(mElem, bSatElems, mSat, semnet.FuncMax)
+
+	// Candidates scored by their hardest element; incomplete candidates
+	// cancelled exactly as in the text parser.
+	pr.Propagate(mSat, mRoot, rules.Path(g.Rel.ElemOf), semnet.FuncMax)
+	pr.And(mRoot, mRoot, bCand, semnet.FuncNop)
+	pr.Propagate(bCand, bCandEl, rules.Path(g.Rel.Elem), semnet.FuncNop)
+	pr.Not(bSatElems, bNotAct, 0, isa.CondNone)
+	pr.And(bCandEl, bNotAct, bUnsat, semnet.FuncNop)
+	pr.Propagate(bUnsat, bCancel, rules.Path(g.Rel.ElemOf), semnet.FuncNop)
+	pr.Not(bCancel, bOK, 0, isa.CondNone)
+	pr.And(bCand, bOK, bWin1, semnet.FuncNop)
+	pr.And(mRoot, bWin1, mFinal, semnet.FuncMax)
+	pr.CollectNode(mFinal)
+	return pr
+}
+
+// extractProgram marks the winning sequence's elements and collects, per
+// hypothesis, its satisfaction scores over the element whose slot index
+// matches the hypothesis's lattice slot — an agent hypothesis cannot
+// claim the target element.
+func (d *Decoder) extractProgram(lat Lattice, winner semnet.NodeID) *isa.Program {
+	g := d.g
+	pr := isa.NewProgram()
+	pr.ClearM(bWinSel)
+	pr.ClearM(bWinElems)
+	pr.SearchNode(winner, bWinSel, 0)
+	pr.Propagate(bWinSel, bWinElems, rules.Step(g.Rel.Elem), semnet.FuncNop)
+	for i := range lat {
+		k := i
+		if k >= kbgen.MaxSeqElements {
+			k = kbgen.MaxSeqElements - 1
+		}
+		pr.ClearM(bSlotTmp)
+		pr.And(bWinElems, bElemK(k), bSlotTmp, semnet.FuncNop)
+		for j := range lat[i] {
+			pr.ClearM(mSlotEx)
+			pr.And(mSem(i, j), bSlotTmp, mSlotEx, semnet.FuncMax)
+			pr.CollectNode(mSlotEx)
+		}
+	}
+	return pr
+}
+
+// pickTranscript chooses each slot's alternative: the hypothesis whose
+// best satisfaction score over the winner's elements is lowest, falling
+// back to acoustics when no alternative touches the winner.
+func (d *Decoder) pickTranscript(lat Lattice, run *machine.Result) []string {
+	out := make([]string, len(lat))
+	coll := 0
+	for i, slot := range lat {
+		best := float32(math.Inf(1))
+		bestJ := -1
+		for j := range slot {
+			items := run.Collected(coll)
+			coll++
+			for _, it := range items {
+				if it.Value < best {
+					best, bestJ = it.Value, j
+				}
+			}
+		}
+		if bestJ < 0 {
+			bestJ = acousticArgmin(slot)
+		}
+		out[i] = slot[bestJ].Word
+	}
+	return out
+}
+
+func acousticArgmin(slot Slot) int {
+	best := 0
+	for j := 1; j < len(slot); j++ {
+		if slot[j].Acoustic < slot[best].Acoustic {
+			best = j
+		}
+	}
+	return best
+}
+
+func acousticBest(lat Lattice) []string {
+	out := make([]string, len(lat))
+	for i, slot := range lat {
+		out[i] = slot[acousticArgmin(slot)].Word
+	}
+	return out
+}
+
+// bestBasic picks the lowest-scoring complete basic candidate.
+func bestBasic(g *kbgen.Generated, items []machine.Item) (semnet.NodeID, float32, bool) {
+	best := float32(math.Inf(1))
+	var node semnet.NodeID
+	found := false
+	for _, it := range items {
+		if it.Color != g.Col.Root {
+			continue
+		}
+		if !found || it.Value < best || (it.Value == best && it.Node < node) {
+			best, node, found = it.Value, it.Node, true
+		}
+	}
+	return node, best, found
+}

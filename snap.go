@@ -1,0 +1,139 @@
+// Package snap1 is a software reconstruction of SNAP-1, the Semantic
+// Network Array Processor prototype (DeMara & Moldovan, 1991): a parallel
+// architecture for knowledge representation and reasoning with the
+// marker-propagation paradigm.
+//
+// The package is a facade over the internal subsystems:
+//
+//   - build a knowledge base with NewKB (internal/semnet),
+//   - write a marker-propagation program with NewProgram (internal/isa),
+//   - construct a machine with New and a Config (internal/machine),
+//   - LoadKB, Run, and inspect the Result and its instrumentation Profile.
+//
+// A minimal session:
+//
+//	kb := snap1.NewKB()
+//	animal := kb.MustAddNode("animal", kb.ColorFor("class"))
+//	dog := kb.MustAddNode("dog", kb.ColorFor("class"))
+//	kb.MustAddLink(dog, kb.Relation("is-a"), 1, animal)
+//
+//	m, _ := snap1.New(snap1.PaperConfig())
+//	_ = m.LoadKB(kb)
+//
+//	p := snap1.NewProgram()
+//	p.SearchNode(dog, 1, 0)
+//	p.Propagate(1, 2, snap1.PathRule(kb.Relation("is-a")), snap1.FuncAdd)
+//	p.CollectNode(2)
+//	res, _ := m.Run(p)
+//	fmt.Println(res.Names(0)) // [animal]
+package snap1
+
+import (
+	"snap1/internal/isa"
+	"snap1/internal/machine"
+	"snap1/internal/rules"
+	"snap1/internal/semnet"
+	"snap1/internal/timing"
+)
+
+// Knowledge-base types.
+type (
+	// KB is the logical semantic network built on the host.
+	KB = semnet.KB
+	// NodeID identifies a semantic network node.
+	NodeID = semnet.NodeID
+	// Color is a node's concept-class tag (256 available).
+	Color = semnet.Color
+	// RelType is a relation (link) type (64K available).
+	RelType = semnet.RelType
+	// MarkerID names one of the 128 marker registers per node.
+	MarkerID = semnet.MarkerID
+	// FuncCode is the per-step marker arithmetic/logic operation.
+	FuncCode = semnet.FuncCode
+	// Link is one outgoing relation-table entry.
+	Link = semnet.Link
+)
+
+// Machine types.
+type (
+	// Machine is a configured SNAP-1 array instance.
+	Machine = machine.Machine
+	// Config sizes a machine (clusters, marker units, capacities, costs).
+	Config = machine.Config
+	// Result is one program run's outcome.
+	Result = machine.Result
+	// Collection is one retrieval instruction's rows.
+	Collection = machine.Collection
+	// Item is one retrieved row.
+	Item = machine.Item
+)
+
+// Program types.
+type (
+	// Program is a stream of SNAP instructions plus its rule table.
+	Program = isa.Program
+	// Instruction is a single SNAP instruction.
+	Instruction = isa.Instruction
+	// Opcode names one of the twenty SNAP instructions.
+	Opcode = isa.Opcode
+	// Condition is the NOT-MARKER comparison.
+	Condition = isa.Condition
+	// RuleSpec names a propagation rule to be compiled.
+	RuleSpec = rules.Spec
+	// Time is simulated virtual time.
+	Time = timing.Time
+)
+
+// NewKB returns an empty knowledge base.
+func NewKB() *KB { return semnet.NewKB() }
+
+// NewProgram returns an empty SNAP program.
+func NewProgram() *Program { return isa.NewProgram() }
+
+// New constructs a machine from cfg.
+func New(cfg Config) (*Machine, error) { return machine.New(cfg) }
+
+// DefaultConfig is the full 32-cluster, 144-PE prototype configuration.
+func DefaultConfig() Config { return machine.DefaultConfig() }
+
+// PaperConfig is the 16-cluster, 72-PE evaluation configuration.
+func PaperConfig() Config { return machine.PaperConfig() }
+
+// Marker function codes.
+const (
+	FuncNop = semnet.FuncNop
+	FuncAdd = semnet.FuncAdd
+	FuncMin = semnet.FuncMin
+	FuncMax = semnet.FuncMax
+	FuncMul = semnet.FuncMul
+	FuncDec = semnet.FuncDec
+)
+
+// NOT-MARKER conditions.
+const (
+	CondNone = isa.CondNone
+	CondLT   = isa.CondLT
+	CondLE   = isa.CondLE
+	CondGT   = isa.CondGT
+	CondGE   = isa.CondGE
+	CondEQ   = isa.CondEQ
+	CondNE   = isa.CondNE
+)
+
+// Binary returns the i'th binary (set-membership) marker.
+func Binary(i int) MarkerID { return semnet.Binary(i) }
+
+// StepRule follows a single link of type r1.
+func StepRule(r1 RelType) RuleSpec { return rules.Step(r1) }
+
+// PathRule follows chains of r1 links.
+func PathRule(r1 RelType) RuleSpec { return rules.Path(r1) }
+
+// SpreadRule follows r1 chains until an r2 link is met, then r2 chains.
+func SpreadRule(r1, r2 RelType) RuleSpec { return rules.Spread(r1, r2) }
+
+// SeqRule follows exactly one r1 link then one r2 link.
+func SeqRule(r1, r2 RelType) RuleSpec { return rules.Seq(r1, r2) }
+
+// CombRule follows links of either type freely.
+func CombRule(r1, r2 RelType) RuleSpec { return rules.Comb(r1, r2) }

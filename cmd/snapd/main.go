@@ -1,0 +1,106 @@
+// Command snapd serves SNAP-1 marker-propagation queries over HTTP: a
+// resident knowledge base, a pool of simulated array replicas, and a
+// batching query engine behind a JSON API.
+//
+// Usage:
+//
+//	snapd -gen 4000 -domain -addr :8080
+//	snapd -kb network.kb -replicas 8
+//
+// Endpoints:
+//
+//	POST /v1/query   {"program": "<SNAP assembly>", "timeout_ms": 1000}
+//	                 (or Content-Type: text/plain with raw assembly)
+//	GET  /v1/stats   serving counters, batch stats, per-stage latency
+//
+// Example:
+//
+//	curl -s localhost:8080/v1/query -d '{"program":
+//	  "search-node node=dog marker=c1 value=0\n
+//	   propagate m1=c1 m2=c2 rule=path(is-a) fn=add\n
+//	   collect-node marker=c2"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"snap1/internal/engine"
+	"snap1/internal/kbfile"
+	"snap1/internal/kbgen"
+	"snap1/internal/machine"
+	"snap1/internal/perfmon"
+	"snap1/internal/semnet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("snapd: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	kbPath := flag.String("kb", "", "knowledge-base file (kbfile format)")
+	gen := flag.Int("gen", 0, "generate a synthetic knowledge base of N nodes instead")
+	domain := flag.Bool("domain", false, "embed the newswire micro-domain in the generated network")
+	seed := flag.Int64("seed", 42, "generation seed")
+	replicas := flag.Int("replicas", 4, "machine-pool size")
+	maxBatch := flag.Int("max-batch", 8, "max queries dispatched to one replica per round")
+	clusters := flag.Int("clusters", 16, "cluster count per replica")
+	part := flag.String("partition", "semantic", "partitioning: sequential, round-robin, or semantic")
+	monCap := flag.Int("monitor", 4096, "perfmon FIFO capacity (0 disables)")
+	flag.Parse()
+
+	kb, err := loadKB(*kbPath, *gen, *domain, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := []engine.Option{
+		engine.WithReplicas(*replicas),
+		engine.WithMaxBatch(*maxBatch),
+		engine.WithMachineOptions(
+			machine.WithClusters(*clusters),
+			machine.WithMarkerUnits(2, 0),
+			machine.WithPartition(*part),
+			machine.WithDeterministic(true),
+		),
+	}
+	if *monCap > 0 {
+		opts = append(opts, engine.WithMonitor(perfmon.NewCollector(*monCap)))
+	}
+	eng, err := engine.New(kb, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	log.Printf("serving %d-node knowledge base on %d replicas at %s",
+		kb.NumNodes(), *replicas, *addr)
+	if err := http.ListenAndServe(*addr, engine.NewServer(eng)); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func loadKB(path string, gen int, domain bool, seed int64) (*semnet.KB, error) {
+	switch {
+	case path != "" && gen != 0:
+		return nil, fmt.Errorf("-kb and -gen are mutually exclusive")
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return kbfile.Parse(f)
+	case gen != 0:
+		g, err := kbgen.Generate(kbgen.Params{Nodes: gen, Seed: seed, WithDomain: domain})
+		if err != nil {
+			return nil, err
+		}
+		return g.KB, nil
+	default:
+		return nil, fmt.Errorf("need -kb file or -gen N")
+	}
+}

@@ -23,7 +23,6 @@ import (
 	"snap1/internal/kbfile"
 	"snap1/internal/kbgen"
 	"snap1/internal/machine"
-	"snap1/internal/partition"
 	"snap1/internal/semnet"
 )
 
@@ -62,20 +61,12 @@ func main() {
 		log.Fatalf("%s: %v", flag.Arg(0), err)
 	}
 
-	partFn, err := partition.ByName(*part)
-	if err != nil {
-		log.Fatal(err)
-	}
-	cfg := machine.DefaultConfig()
-	cfg.Clusters = *clusters
-	cfg.MUsPerCluster = *mus
-	cfg.ExtraMUClusters = 0
-	cfg.Partition = partFn
-	cfg.Deterministic = *det
-	if need := (kb.NumNodes() + *clusters - 1) / *clusters; need > cfg.NodesPerCluster {
-		cfg.NodesPerCluster = need
-	}
-	m, err := machine.New(cfg)
+	m, err := machine.NewFromOptions(machine.DefaultConfig(),
+		machine.WithClusters(*clusters),
+		machine.WithMarkerUnits(*mus, 0),
+		machine.WithPartition(*part),
+		machine.WithDeterministic(*det),
+		machine.WithCapacityFor(kb.NumNodes()))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -88,6 +79,7 @@ func main() {
 		log.Fatal(err)
 	}
 
+	cfg := m.Config()
 	fmt.Printf("ran %d instructions on %d clusters (%d PEs) over %d nodes in %v simulated\n",
 		prog.Len(), cfg.Clusters, cfg.PEs(), kb.NumNodes(), res.Time)
 	for i, coll := range res.Collections {

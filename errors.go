@@ -1,0 +1,29 @@
+package snap1
+
+import (
+	"snap1/internal/engine"
+	"snap1/internal/isa"
+	"snap1/internal/machine"
+	"snap1/internal/semnet"
+)
+
+// Typed sentinel errors of the public API. Branch with errors.Is:
+//
+//	if errors.Is(err, snap1.ErrKBNotLoaded) { ... }
+var (
+	// ErrKBNotLoaded is returned by Run/RunContext/Clone before a
+	// knowledge base has been loaded with LoadKB.
+	ErrKBNotLoaded = machine.ErrNoKB
+
+	// ErrNodeCapacity is returned when a knowledge base or a cluster's
+	// node table exceeds its configured capacity (LoadKB, KB building).
+	ErrNodeCapacity = semnet.ErrCapacity
+
+	// ErrBadProgram is returned for any rejected program: out-of-range
+	// operands, an unknown rule token, assembly text that does not
+	// parse, or (from an Engine) a topology-mutating query.
+	ErrBadProgram = isa.ErrBadProgram
+
+	// ErrEngineClosed is returned by Engine.Submit after Engine.Close.
+	ErrEngineClosed = engine.ErrClosed
+)

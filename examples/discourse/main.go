@@ -28,12 +28,9 @@ func main() {
 		log.Fatal(err)
 	}
 	g.KB.Preprocess()
-	cfg := machine.PaperConfig()
-	cfg.Deterministic = true
-	if need := (g.KB.NumNodes() + cfg.Clusters - 1) / cfg.Clusters; need > cfg.NodesPerCluster {
-		cfg.NodesPerCluster = need
-	}
-	m, err := machine.New(cfg)
+	m, err := machine.NewFromOptions(machine.PaperConfig(),
+		machine.WithDeterministic(true),
+		machine.WithCapacityFor(g.KB.NumNodes()))
 	if err != nil {
 		log.Fatal(err)
 	}

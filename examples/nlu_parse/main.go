@@ -41,19 +41,17 @@ func main() {
 	fmt.Printf("knowledge base: %d nodes, %d links (%d-word lexicon, %d concept sequences)\n",
 		st.Nodes, st.Links, st.Words, st.Roots)
 
-	cfg := machine.PaperConfig()
-	cfg.Clusters = *clusters
-	cfg.Deterministic = true
-	if need := (g.KB.NumNodes() + *clusters - 1) / *clusters; need > cfg.NodesPerCluster {
-		cfg.NodesPerCluster = need
-	}
-	m, err := machine.New(cfg)
+	m, err := machine.NewFromOptions(machine.PaperConfig(),
+		machine.WithClusters(*clusters),
+		machine.WithDeterministic(true),
+		machine.WithCapacityFor(g.KB.NumNodes()))
 	if err != nil {
 		log.Fatal(err)
 	}
 	if err := m.LoadKB(g.KB); err != nil {
 		log.Fatal(err)
 	}
+	cfg := m.Config()
 	fmt.Printf("machine: %d clusters, %d PEs (%d marker units)\n\n",
 		cfg.Clusters, cfg.PEs(), cfg.MarkerUnits())
 

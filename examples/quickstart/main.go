@@ -31,9 +31,8 @@ func main() {
 
 	// 2. Construct the machine (the paper's 16-cluster, 72-PE
 	// evaluation configuration) and download the network into the array.
-	cfg := snap1.PaperConfig()
-	cfg.Deterministic = true // exactly reproducible virtual times
-	m, err := snap1.New(cfg)
+	// Deterministic mode gives exactly reproducible virtual times.
+	m, err := snap1.New(snap1.PaperConfig(), snap1.WithDeterministic(true))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,6 +58,6 @@ func main() {
 		fmt.Printf("  %-8s distance %.0f (origin %s)\n",
 			kb.Name(item.Node), item.Value, kb.Name(item.Origin))
 	}
-	fmt.Printf("simulated execution time: %v on %d PEs\n", res.Time, cfg.PEs())
+	fmt.Printf("simulated execution time: %v on %d PEs\n", res.Time, m.Config().PEs())
 	fmt.Printf("instruction profile:\n%v", res.Profile)
 }

@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"snap1/internal/isa"
+)
+
+// lruCache memoizes assembled programs by source content hash. A program
+// in the cache is shared by every query that hits it; compiled programs
+// are immutable during execution, so sharing is safe.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List               // front = most recently used
+	byKey map[uint64]*list.Element // value: *cacheEntry
+}
+
+type cacheEntry struct {
+	key  uint64
+	prog *isa.Program
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		order: list.New(),
+		byKey: make(map[uint64]*list.Element, capacity),
+	}
+}
+
+func (c *lruCache) get(key uint64) (*isa.Program, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).prog, true
+}
+
+func (c *lruCache) put(key uint64, prog *isa.Program) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).prog = prog
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, prog: prog})
+	for c.order.Len() > c.cap {
+		tail := c.order.Back()
+		c.order.Remove(tail)
+		delete(c.byKey, tail.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the resident entry count (test support).
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

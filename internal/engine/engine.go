@@ -1,0 +1,377 @@
+// Package engine is the query-serving layer over the SNAP-1 array: the
+// role the paper's array controller plays for a terminal room full of
+// users, grown to a concurrent serving surface.
+//
+// An Engine owns a pool of machine replicas that share one preprocessed,
+// partitioned knowledge base (downloaded once, cloned per replica without
+// re-partitioning) and a submit queue of marker-propagation queries. A
+// dispatcher batches queued queries onto idle replicas; each query runs
+// with fresh marker state and honors its context's cancellation and
+// deadline between instructions. The request path is pipelined:
+//
+//	assembly → rule/program compilation (LRU-cached by content hash)
+//	         → execution on a pooled replica → collection
+//
+// Only read-only programs are accepted: replicas share the downloaded
+// network topology, so topology-mutating instructions (CREATE, DELETE,
+// SET-COLOR, MARKER-CREATE, MARKER-DELETE, MARKER-SET-COLOR) are refused
+// at submit with ErrMutatingProgram.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+	"time"
+
+	"snap1/internal/isa"
+	"snap1/internal/machine"
+	"snap1/internal/perfmon"
+	"snap1/internal/semnet"
+	"snap1/internal/timing"
+)
+
+// Sentinel errors of the serving surface.
+var (
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = errors.New("engine: closed")
+	// ErrMutatingProgram rejects topology-mutating programs; it wraps
+	// isa.ErrBadProgram so errors.Is(err, snap1.ErrBadProgram) holds.
+	ErrMutatingProgram = fmt.Errorf("%w: engine: topology-mutating instruction in query", isa.ErrBadProgram)
+)
+
+// Config parameterizes an Engine. The zero value of any field selects
+// its default.
+type Config struct {
+	// Replicas is the machine-pool size (default 4).
+	Replicas int
+	// MaxBatch bounds how many queued queries one dispatch round hands
+	// to a single replica (default 8).
+	MaxBatch int
+	// QueueCap is the submit-queue capacity; Submit blocks (honoring
+	// its context) when the queue is full (default 256).
+	QueueCap int
+	// CacheCap is the compile-cache entry bound (default 128).
+	CacheCap int
+	// Machine configures every replica. Zero value: the paper's
+	// 16-cluster evaluation array with the deterministic lockstep
+	// execution engine, so identical queries report identical virtual
+	// times regardless of which replica serves them.
+	Machine machine.Config
+	// Monitor, when non-nil, receives engine-level performance events
+	// (EvQuerySubmit, EvBatchDispatch, EvQueryDone, EvQueryCancel).
+	Monitor *perfmon.Collector
+}
+
+// Option refines a Config.
+type Option func(*Config)
+
+// WithReplicas sets the machine-pool size.
+func WithReplicas(n int) Option { return func(c *Config) { c.Replicas = n } }
+
+// WithMaxBatch bounds the per-dispatch batch size.
+func WithMaxBatch(n int) Option { return func(c *Config) { c.MaxBatch = n } }
+
+// WithQueueCap sets the submit-queue capacity.
+func WithQueueCap(n int) Option { return func(c *Config) { c.QueueCap = n } }
+
+// WithCacheCap sets the compile-cache entry bound.
+func WithCacheCap(n int) Option { return func(c *Config) { c.CacheCap = n } }
+
+// WithMachineConfig replaces the replica configuration wholesale.
+func WithMachineConfig(mc machine.Config) Option {
+	return func(c *Config) { c.Machine = mc }
+}
+
+// WithMachineOptions refines the replica configuration with machine
+// options, starting from the engine's default replica configuration.
+func WithMachineOptions(opts ...machine.Option) Option {
+	return func(c *Config) {
+		if c.Machine.Clusters == 0 {
+			c.Machine = defaultMachineConfig()
+		}
+		c.Machine = machine.ApplyOptions(c.Machine, opts...)
+	}
+}
+
+// WithMonitor attaches a performance-collection board.
+func WithMonitor(mon *perfmon.Collector) Option {
+	return func(c *Config) { c.Monitor = mon }
+}
+
+func defaultMachineConfig() machine.Config {
+	mc := machine.PaperConfig()
+	mc.Deterministic = true
+	return mc
+}
+
+// request is one queued query.
+type request struct {
+	ctx      context.Context
+	prog     *isa.Program
+	resp     chan response
+	enqueued time.Time
+}
+
+type response struct {
+	res *machine.Result
+	err error
+}
+
+// Engine is a concurrent query-serving layer over a pool of machine
+// replicas sharing one knowledge base. Safe for use from any number of
+// goroutines.
+type Engine struct {
+	cfg Config
+	kb  *semnet.KB
+	asm *isa.Assembler
+	mon *perfmon.Collector
+
+	queue chan *request
+	idle  chan *machine.Machine
+	rank  map[*machine.Machine]int // replica index, for monitor events
+
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	cache *lruCache // assembly-source hash -> compiled *isa.Program
+	valid sync.Map  // program content hash -> struct{}: validated
+
+	st stats
+}
+
+// New builds an engine over kb: the knowledge base is preprocessed,
+// partitioned, and downloaded once, then cloned to every pool replica.
+// kb must not be mutated for the engine's lifetime.
+func New(kb *semnet.KB, opts ...Option) (*Engine, error) {
+	cfg := Config{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 4
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 8
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 256
+	}
+	if cfg.CacheCap <= 0 {
+		cfg.CacheCap = 128
+	}
+	if cfg.Machine.Clusters == 0 {
+		cfg.Machine = defaultMachineConfig()
+	}
+	kb.Preprocess()
+	if need := (kb.NumNodes() + cfg.Machine.Clusters - 1) / cfg.Machine.Clusters; need > cfg.Machine.NodesPerCluster {
+		cfg.Machine.NodesPerCluster = need
+	}
+
+	proto, err := machine.New(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	if err := proto.LoadKB(kb); err != nil {
+		return nil, err
+	}
+
+	e := &Engine{
+		cfg:   cfg,
+		kb:    kb,
+		asm:   isa.NewAssembler(kb),
+		mon:   cfg.Monitor,
+		queue: make(chan *request, cfg.QueueCap),
+		idle:  make(chan *machine.Machine, cfg.Replicas),
+		rank:  make(map[*machine.Machine]int, cfg.Replicas),
+		done:  make(chan struct{}),
+		cache: newLRUCache(cfg.CacheCap),
+	}
+	e.st.replicas = cfg.Replicas
+
+	e.rank[proto] = 0
+	e.idle <- proto
+	for i := 1; i < cfg.Replicas; i++ {
+		r, err := proto.Clone()
+		if err != nil {
+			return nil, err
+		}
+		e.rank[r] = i
+		e.idle <- r
+	}
+
+	e.wg.Add(1)
+	go e.dispatch()
+	return e, nil
+}
+
+// KB returns the engine's knowledge base (for name resolution).
+func (e *Engine) KB() *semnet.KB { return e.kb }
+
+// Submit enqueues a read-only program and blocks until its result, the
+// context's cancellation/deadline, or engine shutdown. Each query runs
+// on an idle pool replica with fresh marker state; results are identical
+// to a sequential Machine.Run of the same program on a fresh machine.
+func (e *Engine) Submit(ctx context.Context, prog *isa.Program) (*machine.Result, error) {
+	if prog.Mutating() {
+		e.st.reject()
+		return nil, ErrMutatingProgram
+	}
+	h := prog.Hash()
+	if _, ok := e.valid.Load(h); !ok {
+		if err := prog.Validate(); err != nil {
+			e.st.reject()
+			return nil, err
+		}
+		e.valid.Store(h, struct{}{})
+	}
+
+	req := &request{ctx: ctx, prog: prog, resp: make(chan response, 1), enqueued: time.Now()}
+	select {
+	case e.queue <- req:
+	case <-ctx.Done():
+		e.st.cancel()
+		return nil, ctx.Err()
+	case <-e.done:
+		return nil, ErrClosed
+	}
+	e.st.submit()
+	e.emit(-1, perfmon.EvQuerySubmit, uint32(len(e.queue)), 0)
+
+	select {
+	case r := <-req.resp:
+		return r.res, r.err
+	case <-ctx.Done():
+		e.st.cancel()
+		return nil, ctx.Err()
+	case <-e.done:
+		return nil, ErrClosed
+	}
+}
+
+// SubmitSource assembles SNAP assembly text (resolving names against the
+// engine's knowledge base) and submits the program. Compilation is
+// memoized in an LRU cache keyed by the source's content hash, so a hot
+// query's assembly and rule compilation cost is paid once.
+func (e *Engine) SubmitSource(ctx context.Context, src string) (*machine.Result, error) {
+	prog, err := e.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Submit(ctx, prog)
+}
+
+// Compile assembles src through the engine's LRU compile cache and
+// returns the shared compiled program. The returned program must be
+// treated as immutable.
+func (e *Engine) Compile(src string) (*isa.Program, error) {
+	fh := fnv.New64a()
+	fh.Write([]byte(src))
+	key := fh.Sum64()
+	if prog, ok := e.cache.get(key); ok {
+		e.st.cacheHit()
+		return prog, nil
+	}
+	start := time.Now()
+	prog, err := e.asm.Assemble(strings.NewReader(src))
+	if err != nil {
+		e.st.reject()
+		return nil, err
+	}
+	e.st.cacheMiss(time.Since(start))
+	e.cache.put(key, prog)
+	return prog, nil
+}
+
+// dispatch is the engine's single dispatcher: it claims an idle replica
+// for the oldest queued query, greedily drains up to MaxBatch-1 more
+// pending queries into the same dispatch round, and hands the batch to a
+// worker goroutine. Batching amortizes replica hand-off and keeps every
+// replica busy under load while an idle engine still serves a lone query
+// immediately (batch of one).
+func (e *Engine) dispatch() {
+	defer e.wg.Done()
+	for {
+		var first *request
+		select {
+		case <-e.done:
+			return
+		case first = <-e.queue:
+		}
+		var m *machine.Machine
+		select {
+		case <-e.done:
+			first.resp <- response{err: ErrClosed}
+			return
+		case m = <-e.idle:
+		}
+		batch := []*request{first}
+		for len(batch) < e.cfg.MaxBatch {
+			select {
+			case r := <-e.queue:
+				batch = append(batch, r)
+			default:
+				goto full
+			}
+		}
+	full:
+		e.st.batch(len(batch))
+		e.emit(e.rank[m], perfmon.EvBatchDispatch, uint32(len(batch)), 0)
+		e.wg.Add(1)
+		go e.runBatch(m, batch)
+	}
+}
+
+// runBatch serves one dispatch round on one replica and returns the
+// replica to the idle pool.
+func (e *Engine) runBatch(m *machine.Machine, batch []*request) {
+	defer e.wg.Done()
+	rank := e.rank[m]
+	for _, req := range batch {
+		e.st.queueWait(time.Since(req.enqueued))
+		if err := req.ctx.Err(); err != nil {
+			e.st.cancel()
+			e.emit(rank, perfmon.EvQueryCancel, uint32(len(e.queue)), 0)
+			req.resp <- response{err: err}
+			continue
+		}
+		m.ClearMarkers()
+		start := time.Now()
+		res, err := m.RunContext(req.ctx, req.prog)
+		e.st.run(time.Since(start), err)
+		switch {
+		case err == nil:
+			e.emit(rank, perfmon.EvQueryDone, uint32(res.Time), res.Time)
+		case req.ctx.Err() != nil:
+			e.emit(rank, perfmon.EvQueryCancel, uint32(len(e.queue)), 0)
+		}
+		req.resp <- response{res: res, err: err}
+	}
+	e.idle <- m
+}
+
+// emit forwards an engine-level event to the monitor, if attached, and
+// counts it for Stats. pe -1 means "not yet on a replica"; now is the
+// query's virtual time where one exists, else 0.
+func (e *Engine) emit(pe int, code perfmon.EventCode, status uint32, now timing.Time) {
+	e.st.event(code)
+	if e.mon != nil {
+		e.mon.Emit(pe, code, status, now)
+	}
+}
+
+// Close stops the dispatcher, waits for in-flight batches, and releases
+// the pool. Queued but undispatched queries fail with ErrClosed.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() { close(e.done) })
+	e.wg.Wait()
+}
+
+// Stats returns a snapshot of the engine's serving counters.
+func (e *Engine) Stats() Stats {
+	return e.st.snapshot(len(e.queue), len(e.idle))
+}

@@ -1,0 +1,285 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"snap1/internal/isa"
+	"snap1/internal/kbgen"
+	"snap1/internal/machine"
+)
+
+// fig15KB generates the synthetic linguistic knowledge base of the
+// paper's Fig. 15 scalability experiment.
+func fig15KB(t testing.TB, nodes int) *kbgen.Generated {
+	t.Helper()
+	g, err := kbgen.Generate(kbgen.Params{Nodes: nodes, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// inheritanceQuery is a root-to-leaf style marker-propagation query in
+// SNAP assembly: activate a concept, spread up the is-a chain summing
+// link weights, collect the ancestry.
+func inheritanceQuery(g *kbgen.Generated, concept string) string {
+	_ = g
+	return fmt.Sprintf(
+		"search-node node=%s marker=c1 value=0\n"+
+			"propagate m1=c1 m2=c2 rule=path(is-a) fn=add\n"+
+			"collect-node marker=c2\n", concept)
+}
+
+// queryConcepts picks a spread of distinct leaf concepts.
+func queryConcepts(g *kbgen.Generated, n int) []string {
+	names := make([]string, 0, n)
+	for i := 0; len(names) < n && i < len(g.Leaves); i += 1 + len(g.Leaves)/n {
+		names = append(names, g.KB.Name(g.Leaves[i]))
+	}
+	return names
+}
+
+type expectation struct {
+	names []string
+	time  string
+}
+
+// sequentialReference runs every query on one fresh machine, one at a
+// time — the ground truth the concurrent engine must match exactly.
+func sequentialReference(t *testing.T, e *Engine, sources []string) map[string]expectation {
+	t.Helper()
+	m, err := machine.New(e.cfg.Machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadKB(e.kb); err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]expectation, len(sources))
+	for _, src := range sources {
+		prog, err := e.Compile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.ClearMarkers()
+		res, err := m.Run(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[src] = expectation{names: res.Names(0), time: res.Time.String()}
+	}
+	return want
+}
+
+func sameNames(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestConcurrentSubmitMatchesSequential drives ≥8 concurrent submitters
+// through one engine over the Fig. 15 synthetic KB and requires every
+// per-query result to be identical to sequential execution.
+func TestConcurrentSubmitMatchesSequential(t *testing.T) {
+	g := fig15KB(t, 1600)
+	e, err := New(g.KB, WithReplicas(4), WithMaxBatch(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	sources := make([]string, 0, 16)
+	for _, c := range queryConcepts(g, 16) {
+		sources = append(sources, inheritanceQuery(g, c))
+	}
+	want := sequentialReference(t, e, sources)
+
+	const submitters = 8
+	const perSubmitter = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, submitters*perSubmitter)
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perSubmitter; i++ {
+				src := sources[(w*perSubmitter+i)%len(sources)]
+				res, err := e.SubmitSource(context.Background(), src)
+				if err != nil {
+					errs <- fmt.Errorf("submitter %d: %v", w, err)
+					return
+				}
+				exp := want[src]
+				if !sameNames(res.Names(0), exp.names) {
+					errs <- fmt.Errorf("submitter %d: names diverge from sequential: got %v want %v",
+						w, res.Names(0), exp.names)
+					return
+				}
+				if res.Time.String() != exp.time {
+					errs <- fmt.Errorf("submitter %d: virtual time diverged: got %v want %v",
+						w, res.Time, exp.time)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := e.Stats()
+	if st.Completed != submitters*perSubmitter {
+		t.Errorf("completed = %d, want %d", st.Completed, submitters*perSubmitter)
+	}
+	if st.Batches == 0 {
+		t.Error("no batches dispatched")
+	}
+	if st.BatchedQueries != st.Completed {
+		t.Errorf("batched queries %d != completed %d", st.BatchedQueries, st.Completed)
+	}
+	if st.CompileHits == 0 {
+		t.Error("compile cache never hit despite repeated sources")
+	}
+	if st.Run.Count != st.Completed {
+		t.Errorf("run latency count %d != completed %d", st.Run.Count, st.Completed)
+	}
+}
+
+// TestCancelMidRunLeavesPoolReusable cancels a query in flight on a
+// single-replica engine and requires the replica to serve correct
+// results afterwards.
+func TestCancelMidRunLeavesPoolReusable(t *testing.T) {
+	g := fig15KB(t, 800)
+	e, err := New(g.KB, WithReplicas(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	concepts := queryConcepts(g, 4)
+	// A long program: many alternating propagate/clear rounds.
+	long := "search-node node=" + concepts[0] + " marker=c1 value=0\n"
+	for i := 0; i < 200; i++ {
+		long += "propagate m1=c1 m2=c2 rule=path(is-a) fn=add\n"
+		long += "clear-marker marker=c2\n"
+	}
+	long += "collect-node marker=c2\n"
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.SubmitSource(ctx, long)
+		done <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	if err := <-done; err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled submit returned %v", err)
+	}
+
+	// The pool must still serve fresh queries with sequential-identical
+	// results.
+	src := inheritanceQuery(g, concepts[1])
+	want := sequentialReference(t, e, []string{src})
+	res, err := e.SubmitSource(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameNames(res.Names(0), want[src].names) {
+		t.Errorf("post-cancel result diverged: got %v want %v", res.Names(0), want[src].names)
+	}
+}
+
+// TestQueuedCancellation cancels a query while it waits behind another
+// on a one-replica pool.
+func TestQueuedCancellation(t *testing.T) {
+	g := fig15KB(t, 800)
+	e, err := New(g.KB, WithReplicas(1), WithMaxBatch(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	concept := queryConcepts(g, 1)[0]
+	if _, err := e.SubmitSource(ctx, inheritanceQuery(g, concept)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled submit returned %v, want context.Canceled", err)
+	}
+	if _, err := e.SubmitSource(context.Background(), inheritanceQuery(g, concept)); err != nil {
+		t.Fatalf("engine unusable after canceled query: %v", err)
+	}
+}
+
+// TestMutatingProgramRejected requires topology-mutating queries to be
+// refused with the bad-program sentinel.
+func TestMutatingProgramRejected(t *testing.T) {
+	g := fig15KB(t, 400)
+	e, err := New(g.KB, WithReplicas(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	p := isa.NewProgram()
+	p.SetColor(g.HierRoot, 1)
+	if _, err := e.Submit(context.Background(), p); !errors.Is(err, ErrMutatingProgram) {
+		t.Fatalf("mutating program returned %v, want ErrMutatingProgram", err)
+	}
+	if _, err := e.Submit(context.Background(), p); !errors.Is(err, isa.ErrBadProgram) {
+		t.Fatalf("mutating program should wrap isa.ErrBadProgram, got %v", err)
+	}
+}
+
+// TestCompileCacheLRU exercises hit/miss accounting and eviction.
+func TestCompileCacheLRU(t *testing.T) {
+	g := fig15KB(t, 400)
+	e, err := New(g.KB, WithReplicas(1), WithCacheCap(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	concepts := queryConcepts(g, 3)
+	q := func(i int) string { return inheritanceQuery(g, concepts[i]) }
+
+	for _, i := range []int{0, 0, 1, 2, 0} { // 0 evicted before final use
+		if _, err := e.Compile(q(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.CompileHits != 1 || st.CompileMisses != 4 {
+		t.Errorf("cache hits/misses = %d/%d, want 1/4", st.CompileHits, st.CompileMisses)
+	}
+	if n := e.cache.len(); n != 2 {
+		t.Errorf("cache resident entries = %d, want 2", n)
+	}
+}
+
+// TestSubmitAfterClose verifies the shutdown path.
+func TestSubmitAfterClose(t *testing.T) {
+	g := fig15KB(t, 400)
+	e, err := New(g.KB, WithReplicas(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	concept := queryConcepts(g, 1)[0]
+	if _, err := e.SubmitSource(context.Background(), inheritanceQuery(g, concept)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close returned %v, want ErrClosed", err)
+	}
+}

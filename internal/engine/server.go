@@ -1,0 +1,204 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"snap1/internal/isa"
+	"snap1/internal/machine"
+)
+
+// QueryRequest is the JSON body of POST /v1/query. A text/plain body is
+// accepted too: the raw bytes are the assembly source.
+type QueryRequest struct {
+	// Program is SNAP assembly text (internal/isa Assembler syntax);
+	// names resolve against the engine's knowledge base.
+	Program string `json:"program"`
+	// TimeoutMillis bounds the query's total residence (queue + run);
+	// 0 means no per-query deadline beyond the server's.
+	TimeoutMillis int `json:"timeout_ms,omitempty"`
+}
+
+// QueryItem is one retrieved row with names resolved.
+type QueryItem struct {
+	Node   string  `json:"node"`
+	Value  float32 `json:"value,omitempty"`
+	Origin string  `json:"origin,omitempty"`
+	Rel    string  `json:"rel,omitempty"`
+	Weight float32 `json:"weight,omitempty"`
+	To     string  `json:"to,omitempty"`
+	Color  string  `json:"color,omitempty"`
+}
+
+// QueryCollection is one retrieval instruction's rows.
+type QueryCollection struct {
+	Instr int         `json:"instr"`
+	Op    string      `json:"op"`
+	Items []QueryItem `json:"items"`
+}
+
+// QueryResponse is the JSON body answering POST /v1/query.
+type QueryResponse struct {
+	VirtualTime   string            `json:"virtual_time"`
+	VirtualPicos  int64             `json:"virtual_ps"`
+	WallMicros    int64             `json:"wall_us"`
+	Collections   []QueryCollection `json:"collections"`
+	ProgramHash   string            `json:"program_hash"`
+	Instructions  int               `json:"instructions"`
+	ServerMessage string            `json:"message,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// NewServer returns the engine's HTTP serving surface:
+//
+//	POST /v1/query  — run one SNAP assembly query (JSON or text/plain)
+//	GET  /v1/stats  — serving counters, per-stage latency, monitor state
+func NewServer(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/query", e.handleQuery)
+	mux.HandleFunc("/v1/stats", e.handleStats)
+	return mux
+}
+
+func (e *Engine) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var req QueryRequest
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/json") {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	} else {
+		req.Program = string(body)
+	}
+	if strings.TrimSpace(req.Program) == "" {
+		writeError(w, http.StatusBadRequest, errors.New("empty program"))
+		return
+	}
+
+	ctx := r.Context()
+	if req.TimeoutMillis > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMillis)*time.Millisecond)
+		defer cancel()
+	}
+
+	prog, err := e.Compile(req.Program)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	start := time.Now()
+	res, err := e.Submit(ctx, prog)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, e.queryResponse(prog, res, time.Since(start)))
+}
+
+func (e *Engine) queryResponse(prog *isa.Program, res *machine.Result, wall time.Duration) QueryResponse {
+	kb := e.kb
+	out := QueryResponse{
+		VirtualTime:  res.Time.String(),
+		VirtualPicos: int64(res.Time),
+		WallMicros:   wall.Microseconds(),
+		ProgramHash:  hashString(prog.Hash()),
+		Instructions: prog.Len(),
+	}
+	for _, coll := range res.Collections {
+		qc := QueryCollection{Instr: coll.Instr, Op: coll.Op.String()}
+		for _, it := range coll.Items {
+			qi := QueryItem{Node: kb.Name(kb.Canonical(it.Node))}
+			switch coll.Op {
+			case isa.OpCollectRelation:
+				qi.Rel = kb.RelationName(it.Rel)
+				qi.Weight = it.Weight
+				qi.To = kb.Name(kb.Canonical(it.To))
+			case isa.OpCollectColor:
+				qi.Color = kb.ColorName(it.Color)
+			default:
+				qi.Value = it.Value
+				qi.Origin = kb.Name(kb.Canonical(it.Origin))
+			}
+			qc.Items = append(qc.Items, qi)
+		}
+		out.Collections = append(out.Collections, qc)
+	}
+	return out
+}
+
+// StatsResponse is the JSON body answering GET /v1/stats.
+type StatsResponse struct {
+	Stats   Stats         `json:"stats"`
+	Monitor *MonitorStats `json:"monitor,omitempty"`
+}
+
+// MonitorStats summarizes the perfmon collection board's state.
+type MonitorStats struct {
+	Buffered int   `json:"buffered"`
+	Dropped  int64 `json:"dropped"`
+}
+
+func (e *Engine) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	resp := StatsResponse{Stats: e.Stats()}
+	if e.mon != nil {
+		resp.Monitor = &MonitorStats{Buffered: e.mon.Len(), Dropped: e.mon.Dropped()}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, isa.ErrBadProgram):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func hashString(h uint64) string {
+	const hexdig = "0123456789abcdef"
+	var buf [16]byte
+	for i := 15; i >= 0; i-- {
+		buf[i] = hexdig[h&0xf]
+		h >>= 4
+	}
+	return string(buf[:])
+}

@@ -1,0 +1,143 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"snap1/internal/kbgen"
+	"snap1/internal/perfmon"
+)
+
+func newTestServer(t *testing.T, nodes int) (*kbgen.Generated, *httptest.Server) {
+	t.Helper()
+	g := fig15KB(t, nodes)
+	e, err := New(g.KB,
+		WithReplicas(2),
+		WithMonitor(perfmon.NewCollector(1024)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(e))
+	t.Cleanup(func() { srv.Close(); e.Close() })
+	return g, srv
+}
+
+func postQuery(t *testing.T, url, program string) QueryResponse {
+	t.Helper()
+	body, _ := json.Marshal(QueryRequest{Program: program})
+	resp, err := http.Post(url+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("query status %d: %s", resp.StatusCode, e.Error)
+	}
+	var out QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestServerQueryAndStats exercises the full HTTP path: concurrent
+// queries, then a stats snapshot that must report non-zero batch counts.
+func TestServerQueryAndStats(t *testing.T) {
+	g, srv := newTestServer(t, 800)
+	concepts := queryConcepts(g, 8)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := postQuery(t, srv.URL, inheritanceQuery(g, concepts[w%len(concepts)]))
+			if len(out.Collections) != 1 {
+				t.Errorf("worker %d: %d collections, want 1", w, len(out.Collections))
+				return
+			}
+			// Every leaf's is-a ancestry must include the hierarchy root.
+			found := false
+			for _, it := range out.Collections[0].Items {
+				if it.Node == "thing" {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("worker %d: root missing from ancestry %v", w, out.Collections[0].Items)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats.Batches == 0 {
+		t.Error("stats report zero batches")
+	}
+	if st.Stats.Completed != 8 {
+		t.Errorf("completed = %d, want 8", st.Stats.Completed)
+	}
+	if st.Stats.Run.Count == 0 {
+		t.Error("run latency histogram empty")
+	}
+	if st.Monitor == nil {
+		t.Error("monitor stats missing")
+	}
+	if st.Stats.Events["batch-dispatch"] == 0 {
+		t.Error("no batch-dispatch events recorded")
+	}
+}
+
+// TestServerRejectsBadProgram maps assembly errors to 400.
+func TestServerRejectsBadProgram(t *testing.T) {
+	_, srv := newTestServer(t, 400)
+	resp, err := http.Post(srv.URL+"/v1/query", "text/plain",
+		strings.NewReader("frobnicate node=thing"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad program status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServerPlainTextBody accepts raw assembly without JSON framing.
+func TestServerPlainTextBody(t *testing.T) {
+	g, srv := newTestServer(t, 400)
+	concept := queryConcepts(g, 1)[0]
+	resp, err := http.Post(srv.URL+"/v1/query", "text/plain",
+		strings.NewReader(inheritanceQuery(g, concept)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plain-text query status = %d, want 200", resp.StatusCode)
+	}
+	var out QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.ProgramHash) != 16 {
+		t.Errorf("program hash %q malformed", out.ProgramHash)
+	}
+	if out.Instructions != 3 {
+		t.Errorf("instructions = %d, want 3", out.Instructions)
+	}
+}

@@ -1,0 +1,210 @@
+package engine
+
+import (
+	"math/bits"
+	"strconv"
+	"sync"
+	"time"
+
+	"snap1/internal/perfmon"
+)
+
+// histBuckets is the per-stage latency histogram resolution: bucket i
+// counts observations whose microsecond count has bit-length i, i.e.
+// [2^(i-1), 2^i), with bucket 0 absorbing zero-microsecond observations.
+const histBuckets = 32
+
+// LatencyHist is a snapshot of one pipeline stage's wall-clock latency
+// distribution in power-of-two microsecond buckets.
+type LatencyHist struct {
+	Count       uint64            `json:"count"`
+	TotalMicros uint64            `json:"total_us"`
+	MaxMicros   uint64            `json:"max_us"`
+	Buckets     map[string]uint64 `json:"buckets,omitempty"` // "us<2^k" -> count
+}
+
+// MeanMicros reports the stage's mean latency in microseconds.
+func (h LatencyHist) MeanMicros() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.TotalMicros) / float64(h.Count)
+}
+
+type hist struct {
+	count, total, max uint64
+	buckets           [histBuckets]uint64
+}
+
+func (h *hist) observe(d time.Duration) {
+	us := uint64(d.Microseconds())
+	h.count++
+	h.total += us
+	if us > h.max {
+		h.max = us
+	}
+	b := bits.Len64(us)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b]++
+}
+
+func (h *hist) snapshot() LatencyHist {
+	out := LatencyHist{Count: h.count, TotalMicros: h.total, MaxMicros: h.max}
+	if h.count > 0 {
+		out.Buckets = make(map[string]uint64)
+		for i, n := range h.buckets {
+			if n > 0 {
+				out.Buckets["us<2^"+strconv.Itoa(i)] = n
+			}
+		}
+	}
+	return out
+}
+
+// Stats is a snapshot of the engine's serving counters.
+type Stats struct {
+	Replicas     int `json:"replicas"`
+	IdleReplicas int `json:"idle_replicas"`
+	QueueDepth   int `json:"queue_depth"`
+
+	Submitted uint64 `json:"submitted"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Canceled  uint64 `json:"canceled"`
+	Rejected  uint64 `json:"rejected"`
+
+	// Batches counts dispatch rounds; BatchedQueries the queries they
+	// carried. MaxBatchSize is the largest single round observed.
+	Batches        uint64 `json:"batches"`
+	BatchedQueries uint64 `json:"batched_queries"`
+	MaxBatchSize   int    `json:"max_batch_size"`
+
+	CompileHits   uint64 `json:"compile_cache_hits"`
+	CompileMisses uint64 `json:"compile_cache_misses"`
+
+	// Per-stage wall-clock latency: assembly+rule compilation, submit
+	// queue residency, and execution (including collection).
+	Compile   LatencyHist `json:"compile_latency"`
+	QueueWait LatencyHist `json:"queue_latency"`
+	Run       LatencyHist `json:"run_latency"`
+
+	// Events counts engine-level monitoring events by name.
+	Events map[string]uint64 `json:"events,omitempty"`
+}
+
+// stats is the engine's mutable counter set. One mutex guards it all:
+// every critical section is a handful of integer updates, invisible next
+// to a query's execution time.
+type stats struct {
+	mu sync.Mutex
+
+	replicas int
+
+	submitted, completed, failed, canceled, rejected uint64
+	batches, batchedQueries                          uint64
+	maxBatch                                         int
+	cacheHits, cacheMisses                           uint64
+
+	compileH, queueH, runH hist
+
+	events map[perfmon.EventCode]uint64
+}
+
+func (s *stats) submit() {
+	s.mu.Lock()
+	s.submitted++
+	s.mu.Unlock()
+}
+
+func (s *stats) reject() {
+	s.mu.Lock()
+	s.rejected++
+	s.mu.Unlock()
+}
+
+func (s *stats) cancel() {
+	s.mu.Lock()
+	s.canceled++
+	s.mu.Unlock()
+}
+
+func (s *stats) batch(size int) {
+	s.mu.Lock()
+	s.batches++
+	s.batchedQueries += uint64(size)
+	if size > s.maxBatch {
+		s.maxBatch = size
+	}
+	s.mu.Unlock()
+}
+
+func (s *stats) cacheHit() {
+	s.mu.Lock()
+	s.cacheHits++
+	s.mu.Unlock()
+}
+
+func (s *stats) cacheMiss(d time.Duration) {
+	s.mu.Lock()
+	s.cacheMisses++
+	s.compileH.observe(d)
+	s.mu.Unlock()
+}
+
+func (s *stats) queueWait(d time.Duration) {
+	s.mu.Lock()
+	s.queueH.observe(d)
+	s.mu.Unlock()
+}
+
+func (s *stats) run(d time.Duration, err error) {
+	s.mu.Lock()
+	s.runH.observe(d)
+	if err == nil {
+		s.completed++
+	} else {
+		s.failed++
+	}
+	s.mu.Unlock()
+}
+
+func (s *stats) event(code perfmon.EventCode) {
+	s.mu.Lock()
+	if s.events == nil {
+		s.events = make(map[perfmon.EventCode]uint64)
+	}
+	s.events[code]++
+	s.mu.Unlock()
+}
+
+func (s *stats) snapshot(queueDepth, idle int) Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := Stats{
+		Replicas:       s.replicas,
+		IdleReplicas:   idle,
+		QueueDepth:     queueDepth,
+		Submitted:      s.submitted,
+		Completed:      s.completed,
+		Failed:         s.failed,
+		Canceled:       s.canceled,
+		Rejected:       s.rejected,
+		Batches:        s.batches,
+		BatchedQueries: s.batchedQueries,
+		MaxBatchSize:   s.maxBatch,
+		CompileHits:    s.cacheHits,
+		CompileMisses:  s.cacheMisses,
+		Compile:        s.compileH.snapshot(),
+		QueueWait:      s.queueH.snapshot(),
+		Run:            s.runH.snapshot(),
+	}
+	if len(s.events) > 0 {
+		out.Events = make(map[string]uint64, len(s.events))
+		for code, n := range s.events {
+			out.Events[code.String()] = n
+		}
+	}
+	return out
+}

@@ -45,7 +45,7 @@ func (a *Assembler) Assemble(r io.Reader) (*Program, error) {
 			continue
 		}
 		if err := a.assembleLine(p, line); err != nil {
-			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			return nil, fmt.Errorf("%w: line %d: %v", ErrBadProgram, lineNo, err)
 		}
 	}
 	if err := sc.Err(); err != nil {

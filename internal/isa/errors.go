@@ -1,0 +1,9 @@
+package isa
+
+import "errors"
+
+// ErrBadProgram is the sentinel wrapped by every program rejection: an
+// instruction with out-of-range operands, a PROPAGATE referencing a rule
+// token missing from the table, or assembly text that does not parse.
+// Callers branch with errors.Is(err, isa.ErrBadProgram).
+var ErrBadProgram = errors.New("isa: bad program")

@@ -1,0 +1,50 @@
+package isa
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// Hash returns a 64-bit FNV-1a digest of the program: every instruction's
+// operands in stream order, followed by the fingerprint of each compiled
+// rule the stream references. Two programs with equal hashes execute
+// identically on the same knowledge base, so the digest is a safe cache
+// key for compiled/validated programs in a query-serving engine.
+//
+// The digest covers rule *behavior* (the compiled FSM), not rule table
+// tokens alone: the same token number bound to a different rule hashes
+// differently.
+func (p *Program) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(buf[:4], v)
+		h.Write(buf[:4])
+	}
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		w32(uint32(in.Op) | uint32(in.Cond)<<8 | uint32(in.Fn)<<16 | uint32(in.Rule)<<24)
+		w32(uint32(in.Node))
+		w32(uint32(in.EndNode))
+		w32(uint32(in.Rel) | uint32(in.RevRel)<<16)
+		w32(uint32(in.M1) | uint32(in.M2)<<8 | uint32(in.M3)<<16 | boolBit(in.HasRev)<<24)
+		w32(math.Float32bits(in.Weight))
+		w32(math.Float32bits(in.Value))
+		w32(uint32(in.Color))
+		if in.Op == OpPropagate && p.Rules != nil {
+			if rule := p.Rules.Rule(in.Rule); rule != nil {
+				binary.LittleEndian.PutUint64(buf[:], rule.Fingerprint())
+				h.Write(buf[:])
+			}
+		}
+	}
+	return h.Sum64()
+}
+
+func boolBit(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

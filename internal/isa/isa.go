@@ -223,50 +223,64 @@ type Instruction struct {
 	Rule rules.Token // PROPAGATE rule token (into the program's rule table)
 }
 
-// Validate checks operand ranges for the instruction's opcode.
+// Validate checks operand ranges for the instruction's opcode. All
+// failures wrap ErrBadProgram.
 func (in *Instruction) Validate() error {
 	switch in.Op {
 	case OpSearchNode:
 		if !in.M1.Valid() {
-			return fmt.Errorf("isa: %s: invalid marker %d", in.Op, in.M1)
+			return fmt.Errorf("%w: %s: invalid marker %d", ErrBadProgram, in.Op, in.M1)
 		}
 	case OpPropagate:
 		if !in.M1.Valid() || !in.M2.Valid() {
-			return fmt.Errorf("isa: %s: invalid markers %d,%d", in.Op, in.M1, in.M2)
+			return fmt.Errorf("%w: %s: invalid markers %d,%d", ErrBadProgram, in.Op, in.M1, in.M2)
 		}
 		if !in.Fn.Valid() {
-			return fmt.Errorf("isa: %s: invalid function %d", in.Op, in.Fn)
+			return fmt.Errorf("%w: %s: invalid function %d", ErrBadProgram, in.Op, in.Fn)
 		}
 		if in.Rule == 0 {
-			return fmt.Errorf("isa: %s: missing rule token", in.Op)
+			return fmt.Errorf("%w: %s: missing rule token", ErrBadProgram, in.Op)
 		}
 	case OpAndMarker, OpOrMarker:
 		if !in.M1.Valid() || !in.M2.Valid() || !in.M3.Valid() {
-			return fmt.Errorf("isa: %s: invalid markers", in.Op)
+			return fmt.Errorf("%w: %s: invalid markers", ErrBadProgram, in.Op)
 		}
 		if !in.Fn.Valid() {
-			return fmt.Errorf("isa: %s: invalid function %d", in.Op, in.Fn)
+			return fmt.Errorf("%w: %s: invalid function %d", ErrBadProgram, in.Op, in.Fn)
 		}
 	case OpNotMarker:
 		if !in.M1.Valid() || !in.M2.Valid() {
-			return fmt.Errorf("isa: %s: invalid markers", in.Op)
+			return fmt.Errorf("%w: %s: invalid markers", ErrBadProgram, in.Op)
 		}
 		if !in.Cond.Valid() {
-			return fmt.Errorf("isa: %s: invalid condition %d", in.Op, in.Cond)
+			return fmt.Errorf("%w: %s: invalid condition %d", ErrBadProgram, in.Op, in.Cond)
 		}
 	case OpSetMarker, OpClearMarker, OpFuncMarker, OpCollectNode,
 		OpCollectRelation, OpCollectColor, OpMarkerCreate, OpMarkerDelete,
 		OpMarkerSetColor, OpSearchRelation, OpSearchColor:
 		if !in.M1.Valid() {
-			return fmt.Errorf("isa: %s: invalid marker %d", in.Op, in.M1)
+			return fmt.Errorf("%w: %s: invalid marker %d", ErrBadProgram, in.Op, in.M1)
 		}
 		if in.Op == OpFuncMarker && !in.Fn.Valid() {
-			return fmt.Errorf("isa: %s: invalid function %d", in.Op, in.Fn)
+			return fmt.Errorf("%w: %s: invalid function %d", ErrBadProgram, in.Op, in.Fn)
 		}
 	case OpCreate, OpDelete, OpSetColor, OpCommEnd:
 		// Node existence is checked at execution against the loaded KB.
 	default:
-		return fmt.Errorf("isa: unknown opcode %d", in.Op)
+		return fmt.Errorf("%w: unknown opcode %d", ErrBadProgram, in.Op)
 	}
 	return nil
+}
+
+// Mutating reports whether the instruction alters network topology (node
+// or link maintenance) rather than only marker state. A query-serving
+// pool refuses mutating programs: replicas share one downloaded network
+// and only marker state is per-replica.
+func (in *Instruction) Mutating() bool {
+	switch in.Op {
+	case OpCreate, OpDelete, OpSetColor,
+		OpMarkerCreate, OpMarkerDelete, OpMarkerSetColor:
+		return true
+	}
+	return false
 }

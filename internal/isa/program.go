@@ -158,7 +158,8 @@ func (p *Program) Barrier() *Program {
 	return p.mustAdd(Instruction{Op: OpCommEnd})
 }
 
-// Validate re-checks every instruction and rule token.
+// Validate re-checks every instruction and rule token. All failures wrap
+// ErrBadProgram.
 func (p *Program) Validate() error {
 	for i := range p.Instrs {
 		in := &p.Instrs[i]
@@ -166,8 +167,18 @@ func (p *Program) Validate() error {
 			return fmt.Errorf("instruction %d: %w", i, err)
 		}
 		if in.Op == OpPropagate && p.Rules.Rule(in.Rule) == nil {
-			return fmt.Errorf("instruction %d: rule token %d not in table", i, in.Rule)
+			return fmt.Errorf("instruction %d: %w: rule token %d not in table", i, ErrBadProgram, in.Rule)
 		}
 	}
 	return nil
+}
+
+// Mutating reports whether any instruction alters network topology.
+func (p *Program) Mutating() bool {
+	for i := range p.Instrs {
+		if p.Instrs[i].Mutating() {
+			return true
+		}
+	}
+	return false
 }

@@ -72,6 +72,10 @@ type Config struct {
 
 	// Monitor, when non-nil, receives performance-collection events.
 	Monitor *perfmon.Collector
+
+	// err records a deferred Option failure (e.g. an unknown partition
+	// name); Validate surfaces it.
+	err error
 }
 
 // DefaultConfig is the full 32-cluster prototype configuration:
@@ -132,6 +136,9 @@ func (c Config) musOf(i int) int {
 
 // Validate reports the first configuration error.
 func (c Config) Validate() error {
+	if c.err != nil {
+		return c.err
+	}
 	switch {
 	case c.Clusters <= 0:
 		return fmt.Errorf("machine: Clusters must be positive, got %d", c.Clusters)

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -100,6 +101,35 @@ func (m *Machine) LoadKB(kb *semnet.KB) error {
 	return nil
 }
 
+// Clone returns a replica of the machine sharing the loaded knowledge
+// base, partition assignment, and local index tables, with deep-copied
+// cluster node/relation tables and entirely fresh marker state. The
+// preprocessing and partitioning work of LoadKB is not repeated, so a
+// query-serving pool can stamp out replicas cheaply. The clone runs
+// independently: nothing mutable is shared with the original.
+func (m *Machine) Clone() (*Machine, error) {
+	if m.kb == nil {
+		return nil, ErrNoKB
+	}
+	r := &Machine{
+		cfg:      m.cfg,
+		cost:     m.cost,
+		kb:       m.kb,
+		assign:   m.assign,
+		localIdx: m.localIdx,
+		net:      icn.New(m.cfg.Clusters, m.cfg.MailboxCap),
+		bar:      barrier.New(m.cfg.Clusters),
+		ctrl:     timing.NewClock(timing.ControllerClock),
+	}
+	r.clusters = make([]*cluster, len(m.clusters))
+	for i, c := range m.clusters {
+		rc := newCluster(i, &m.cfg)
+		rc.store = c.store.CloneTopology()
+		r.clusters[i] = rc
+	}
+	return r, nil
+}
+
 // Item is one retrieved result row. Fields beyond Node are populated
 // according to the collecting opcode.
 type Item struct {
@@ -155,6 +185,16 @@ var ErrNoKB = errors.New("machine: no knowledge base loaded")
 // Marker state persists across runs (load-then-query programming); use
 // ClearMarkers between independent experiments.
 func (m *Machine) Run(prog *isa.Program) (*Result, error) {
+	return m.RunContext(context.Background(), prog)
+}
+
+// RunContext executes a SNAP program, honoring ctx cancellation and
+// deadline between instructions — the granularity at which the central
+// controller's program control processor can abandon a broadcast stream.
+// On cancellation it returns ctx's error; marker state is left partially
+// updated (as after any aborted run) and the machine remains usable after
+// ClearMarkers.
+func (m *Machine) RunContext(ctx context.Context, prog *isa.Program) (*Result, error) {
 	if m.kb == nil {
 		return nil, ErrNoKB
 	}
@@ -168,6 +208,9 @@ func (m *Machine) Run(prog *isa.Program) (*Result, error) {
 		res:  &Result{kb: m.kb},
 	}
 	for i := range prog.Instrs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		in := &prog.Instrs[i]
 		m.broadcast(st)
 		bAt := m.ctrl.Now()

@@ -18,8 +18,10 @@ type Assignment []int
 // the clusters without exceeding the per-cluster node capacity.
 type Func func(kb *semnet.KB, clusters, capacity int) (Assignment, error)
 
-// ErrTooLarge is wrapped when the network does not fit the array.
-var ErrTooLarge = fmt.Errorf("partition: knowledge base exceeds array capacity")
+// ErrTooLarge is wrapped when the network does not fit the array. It
+// wraps semnet.ErrCapacity so every node-capacity failure — whether
+// caught here or at a cluster store — answers to one public sentinel.
+var ErrTooLarge = fmt.Errorf("partition: knowledge base exceeds array capacity: %w", semnet.ErrCapacity)
 
 func check(kb *semnet.KB, clusters, capacity int) error {
 	if n := kb.NumNodes(); n > clusters*capacity {

@@ -30,6 +30,14 @@ const (
 	EvBarrierDone            // status: messages this barrier (low 24 bits)
 	EvCollect                // status: nodes collected
 	EvQueueFull              // status: queue depth
+
+	// Engine-level events, emitted by the query-serving layer rather
+	// than a PE. The "PE index" is the replica that served the query
+	// (-1 while still queued).
+	EvQuerySubmit   // status: submit-queue depth after enqueue
+	EvBatchDispatch // status: batch size dispatched to one replica
+	EvQueryDone     // status: low 24 bits of the query's virtual time
+	EvQueryCancel   // status: submit-queue depth at cancellation
 )
 
 func (e EventCode) String() string {
@@ -52,6 +60,14 @@ func (e EventCode) String() string {
 		return "collect"
 	case EvQueueFull:
 		return "queue-full"
+	case EvQuerySubmit:
+		return "query-submit"
+	case EvBatchDispatch:
+		return "batch-dispatch"
+	case EvQueryDone:
+		return "query-done"
+	case EvQueryCancel:
+		return "query-cancel"
 	default:
 		return "none"
 	}

@@ -128,6 +128,29 @@ func (c *Compiled) Terminal(s State) bool {
 	return int(s) >= len(c.states) || len(c.states[s]) == 0
 }
 
+// Fingerprint returns a 64-bit FNV-1a digest of the FSM's transition
+// structure. Two rules with equal fingerprints follow exactly the same
+// links, so the digest participates in program content hashing.
+func (c *Compiled) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime64
+	}
+	mix(uint64(len(c.states)))
+	for s, ts := range c.states {
+		mix(uint64(s))
+		for _, t := range ts {
+			mix(uint64(t.Rel)<<8 | uint64(t.Next))
+		}
+	}
+	return h
+}
+
 // Compile lowers a Spec to its FSM.
 func Compile(spec Spec) (*Compiled, error) {
 	name := fmt.Sprintf("%s(%d,%d)", spec.Kind, spec.R1, spec.R2)

@@ -49,6 +49,33 @@ func NewStore(capacity int) *Store {
 // Words reports the number of 32-bit status words per marker row.
 func (s *Store) Words() int { return (s.n + WordBits - 1) / WordBits }
 
+// CloneTopology returns a new store holding the same node and relation
+// tables but entirely fresh (cleared) marker state. The relation table is
+// deep-copied so the clone's mutation instructions cannot alias the
+// original's link slices. This is the download-once/replicate step of a
+// query-serving pool: replicas share one partitioned network without
+// repeating preprocessing or partitioning.
+func (s *Store) CloneTopology() *Store {
+	c := &Store{
+		capacity: s.capacity,
+		n:        s.n,
+		color:    append([]Color(nil), s.color...),
+		fn:       append([]FuncCode(nil), s.fn...),
+		global:   append([]NodeID(nil), s.global...),
+		rel:      make([][]Link, len(s.rel)),
+	}
+	for i, links := range s.rel {
+		if len(links) > 0 {
+			c.rel[i] = append([]Link(nil), links...)
+		}
+	}
+	words := s.Words()
+	for m := range c.status {
+		c.status[m] = make([]uint32, words)
+	}
+	return c
+}
+
 // NumNodes reports the number of local nodes stored.
 func (s *Store) NumNodes() int { return s.n }
 

@@ -7,8 +7,12 @@
 //
 //   - build a knowledge base with NewKB (internal/semnet),
 //   - write a marker-propagation program with NewProgram (internal/isa),
-//   - construct a machine with New and a Config (internal/machine),
-//   - LoadKB, Run, and inspect the Result and its instrumentation Profile.
+//   - construct a machine with New and functional options — or a whole
+//     Config, which is itself an Option (internal/machine),
+//   - LoadKB, Run or RunContext, and inspect the Result and its
+//     instrumentation Profile,
+//   - or serve many concurrent queries from a replica pool with
+//     NewEngine and Engine.Submit (internal/engine).
 //
 // A minimal session:
 //
@@ -17,7 +21,7 @@
 //	dog := kb.MustAddNode("dog", kb.ColorFor("class"))
 //	kb.MustAddLink(dog, kb.Relation("is-a"), 1, animal)
 //
-//	m, _ := snap1.New(snap1.PaperConfig())
+//	m, _ := snap1.New(snap1.WithClusters(16), snap1.WithPartition("semantic"))
 //	_ = m.LoadKB(kb)
 //
 //	p := snap1.NewProgram()
@@ -26,9 +30,16 @@
 //	p.CollectNode(2)
 //	res, _ := m.Run(p)
 //	fmt.Println(res.Names(0)) // [animal]
+//
+// A concurrent serving session over the same knowledge base:
+//
+//	eng, _ := snap1.NewEngine(kb, snap1.WithReplicas(8))
+//	defer eng.Close()
+//	res, _ = eng.Submit(ctx, p)
 package snap1
 
 import (
+	"snap1/internal/engine"
 	"snap1/internal/isa"
 	"snap1/internal/machine"
 	"snap1/internal/rules"
@@ -84,20 +95,95 @@ type (
 	Time = timing.Time
 )
 
+// Engine types.
+type (
+	// Engine is a concurrent query-serving layer: a pool of machine
+	// replicas sharing one knowledge base behind a batching submit
+	// queue. Construct with NewEngine; serve with Engine.Submit /
+	// Engine.SubmitSource; inspect with Engine.Stats.
+	Engine = engine.Engine
+	// EngineStats is a snapshot of an engine's serving counters.
+	EngineStats = engine.Stats
+	// EngineOption configures NewEngine.
+	EngineOption = engine.Option
+)
+
 // NewKB returns an empty knowledge base.
 func NewKB() *KB { return semnet.NewKB() }
 
 // NewProgram returns an empty SNAP program.
 func NewProgram() *Program { return isa.NewProgram() }
 
-// New constructs a machine from cfg.
-func New(cfg Config) (*Machine, error) { return machine.New(cfg) }
+// Assembler parses textual SNAP assembly against a knowledge base.
+type Assembler = isa.Assembler
+
+// NewAssembler returns an assembler resolving names against kb.
+func NewAssembler(kb *KB) *Assembler { return isa.NewAssembler(kb) }
+
+// Option configures a machine under construction (see WithClusters,
+// WithPartition, ...). A whole Config is itself an Option, so the
+// original struct form New(PaperConfig()) keeps working.
+type Option = machine.Option
+
+// New constructs a machine from DefaultConfig refined by opts, applied
+// in order:
+//
+//	m, err := snap1.New(snap1.WithClusters(16), snap1.WithPartition("semantic"))
+//	m, err := snap1.New(snap1.PaperConfig())            // struct form
+//	m, err := snap1.New(cfg, snap1.WithDeterministic(true))
+func New(opts ...Option) (*Machine, error) { return machine.NewFromOptions(opts...) }
+
+// NewEngine builds a concurrent query engine over kb: the knowledge base
+// is preprocessed, partitioned, and downloaded once, then cloned to every
+// pool replica. kb must not be mutated afterwards.
+func NewEngine(kb *KB, opts ...EngineOption) (*Engine, error) {
+	return engine.New(kb, opts...)
+}
 
 // DefaultConfig is the full 32-cluster, 144-PE prototype configuration.
 func DefaultConfig() Config { return machine.DefaultConfig() }
 
 // PaperConfig is the 16-cluster, 72-PE evaluation configuration.
 func PaperConfig() Config { return machine.PaperConfig() }
+
+// Machine construction options (see internal/machine for the full set).
+var (
+	// WithClusters sets the array size.
+	WithClusters = machine.WithClusters
+	// WithMarkerUnits sets per-cluster MU count and the extra-MU cluster count.
+	WithMarkerUnits = machine.WithMarkerUnits
+	// WithNodesPerCluster sets each cluster's node-table capacity.
+	WithNodesPerCluster = machine.WithNodesPerCluster
+	// WithCapacityFor grows capacity to fit a knowledge base of N nodes.
+	WithCapacityFor = machine.WithCapacityFor
+	// WithPartition selects node allocation by name: "sequential",
+	// "round-robin", or "semantic".
+	WithPartition = machine.WithPartition
+	// WithDeterministic selects the lockstep measurement engine.
+	WithDeterministic = machine.WithDeterministic
+	// WithSeed sets the arbiter tie-break seed.
+	WithSeed = machine.WithSeed
+	// WithMaxDepth bounds propagation path length.
+	WithMaxDepth = machine.WithMaxDepth
+	// WithMonitor attaches a performance-collection board.
+	WithMonitor = machine.WithMonitor
+)
+
+// Engine construction options.
+var (
+	// WithReplicas sets the engine's machine-pool size.
+	WithReplicas = engine.WithReplicas
+	// WithMaxBatch bounds queries dispatched per replica round.
+	WithMaxBatch = engine.WithMaxBatch
+	// WithQueueCap sets the engine's submit-queue capacity.
+	WithQueueCap = engine.WithQueueCap
+	// WithCacheCap bounds the engine's compile cache.
+	WithCacheCap = engine.WithCacheCap
+	// WithMachineOptions refines the engine's replica configuration.
+	WithMachineOptions = engine.WithMachineOptions
+	// WithEngineMonitor attaches a performance-collection board to the engine.
+	WithEngineMonitor = engine.WithMonitor
+)
 
 // Marker function codes.
 const (

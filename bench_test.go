@@ -6,8 +6,10 @@
 package snap1_test
 
 import (
+	"context"
 	"testing"
 
+	"snap1/internal/engine"
 	"snap1/internal/experiments"
 	"snap1/internal/isa"
 	"snap1/internal/kbgen"
@@ -170,6 +172,93 @@ func BenchmarkFig21Overheads(b *testing.B) {
 // ---------------------------------------------------------------------
 // Micro-benchmarks of the simulator machinery itself.
 // ---------------------------------------------------------------------
+
+// BenchmarkPropagatePhase is the canonical host-cost benchmark of the
+// marker-propagation hot path (tracked in BENCH_PROPAGATE.json, see
+// docs/PERF.md): one overlap-window flush of α=256 depth-10 chains on
+// the paper's 16-cluster array, measured on both execution engines with
+// allocation reporting. The machine is reused across iterations, so the
+// numbers reflect the steady state a query-serving pool runs in.
+func BenchmarkPropagatePhase(b *testing.B) {
+	for _, eng := range []struct {
+		name string
+		det  bool
+	}{{"concurrent", false}, {"lockstep", true}} {
+		b.Run(eng.name, func(b *testing.B) {
+			w := kbgen.Chains(1, 256, 10, 1)
+			w.KB.Preprocess()
+			cfg := machine.PaperConfig()
+			cfg.Deterministic = eng.det
+			m, err := machine.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := m.LoadKB(w.KB); err != nil {
+				b.Fatal(err)
+			}
+			defer m.Close()
+			p := isa.NewProgram()
+			p.SearchColor(w.Seeds[0], 0, 0)
+			p.Propagate(0, 1, rules.Path(w.Rel), semnet.FuncAdd)
+			p.Barrier()
+
+			var tasks int64
+			run := func() {
+				m.ClearMarkers()
+				res, err := m.Run(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tasks = res.Profile.PropSteps
+			}
+			run() // steady state: pools grown, workers started
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run()
+			}
+			b.StopTimer()
+			if tasks > 0 {
+				b.ReportMetric(float64(tasks), "tasks/phase")
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(tasks), "ns/task")
+			}
+		})
+	}
+}
+
+// BenchmarkEngineThroughput measures end-to-end query serving on the
+// concurrent engine layer: parallel submitters over a pooled replica set,
+// the path every snapd request takes.
+func BenchmarkEngineThroughput(b *testing.B) {
+	w := kbgen.Chains(1, 128, 8, 1)
+	cfg := machine.PaperConfig()
+	cfg.Deterministic = true
+	e, err := engine.New(w.KB, engine.WithReplicas(4), engine.WithMachineConfig(cfg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	p := isa.NewProgram()
+	p.SearchColor(w.Seeds[0], 0, 0)
+	p.Propagate(0, 1, rules.Path(w.Rel), semnet.FuncAdd)
+	p.Barrier()
+	p.CollectNode(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			res, err := e.Submit(context.Background(), p)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if len(res.Collected(0)) == 0 {
+				b.Error("empty collection")
+				return
+			}
+		}
+	})
+}
 
 // BenchmarkStoreBooleanSweep measures one AND-MARKER sweep over a full
 // 1024-node cluster partition.

@@ -1,0 +1,189 @@
+// Command snapbench runs the canonical propagation-phase host benchmarks
+// (the same workloads as BenchmarkPropagatePhase and
+// BenchmarkEngineThroughput in bench_test.go) and writes the results as
+// machine-readable JSON. The checked-in BENCH_PROPAGATE.json at the repo
+// root is regenerated with:
+//
+//	go run ./cmd/snapbench -o BENCH_PROPAGATE.json
+//
+// See docs/PERF.md for the measurement methodology and the history of
+// what these numbers looked like before the host hot-path overhaul.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+
+	"snap1/internal/engine"
+	"snap1/internal/isa"
+	"snap1/internal/kbgen"
+	"snap1/internal/machine"
+	"snap1/internal/rules"
+	"snap1/internal/semnet"
+)
+
+// Result is one benchmark's outcome in the JSON report.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	TasksPerOp  float64 `json:"tasks_per_phase,omitempty"`
+	NsPerTask   float64 `json:"ns_per_task,omitempty"`
+}
+
+// Report is the full BENCH_PROPAGATE.json document.
+type Report struct {
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Workload   string   `json:"workload"`
+	Results    []Result `json:"results"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("snapbench: ")
+	testing.Init() // registers test.* flags so benchtime is settable
+	out := flag.String("o", "", "write the JSON report to this file (default: stdout)")
+	benchtime := flag.Duration("benchtime", 0, "minimum run time per benchmark (0 = testing default of 1s)")
+	flag.Parse()
+	if *benchtime > 0 {
+		// testing.Benchmark honours the -test.benchtime flag.
+		if err := flag.Lookup("test.benchtime").Value.Set(benchtime.String()); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	rep := Report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workload:   "alpha=256 depth-10 chains, PaperConfig (16 clusters), PATH/add propagation",
+	}
+	for _, eng := range []struct {
+		name string
+		det  bool
+	}{{"propagate_phase/concurrent", false}, {"propagate_phase/lockstep", true}} {
+		rep.Results = append(rep.Results, toResult(eng.name, testing.Benchmark(phaseBench(eng.det))))
+	}
+	rep.Results = append(rep.Results, toResult("engine_throughput", testing.Benchmark(throughputBench)))
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func toResult(name string, br testing.BenchmarkResult) Result {
+	r := Result{
+		Name:        name,
+		Iterations:  br.N,
+		NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
+		BytesPerOp:  br.AllocedBytesPerOp(),
+		AllocsPerOp: br.AllocsPerOp(),
+	}
+	if v, ok := br.Extra["tasks/phase"]; ok {
+		r.TasksPerOp = v
+	}
+	if v, ok := br.Extra["ns/task"]; ok {
+		r.NsPerTask = v
+	}
+	return r
+}
+
+// phaseBench mirrors BenchmarkPropagatePhase: one overlap-window flush of
+// α=256 depth-10 chains on the paper's 16-cluster array, machine reused
+// across iterations so the steady state is measured.
+func phaseBench(det bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		w := kbgen.Chains(1, 256, 10, 1)
+		w.KB.Preprocess()
+		cfg := machine.PaperConfig()
+		cfg.Deterministic = det
+		m, err := machine.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.LoadKB(w.KB); err != nil {
+			b.Fatal(err)
+		}
+		defer m.Close()
+		p := isa.NewProgram()
+		p.SearchColor(w.Seeds[0], 0, 0)
+		p.Propagate(0, 1, rules.Path(w.Rel), semnet.FuncAdd)
+		p.Barrier()
+
+		var tasks int64
+		run := func() {
+			m.ClearMarkers()
+			res, err := m.Run(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tasks = res.Profile.PropSteps
+		}
+		run()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run()
+		}
+		b.StopTimer()
+		if tasks > 0 {
+			b.ReportMetric(float64(tasks), "tasks/phase")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(tasks), "ns/task")
+		}
+	}
+}
+
+// throughputBench mirrors BenchmarkEngineThroughput: parallel submitters
+// over a pooled replica set.
+func throughputBench(b *testing.B) {
+	w := kbgen.Chains(1, 128, 8, 1)
+	cfg := machine.PaperConfig()
+	cfg.Deterministic = true
+	e, err := engine.New(w.KB, engine.WithReplicas(4), engine.WithMachineConfig(cfg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	p := isa.NewProgram()
+	p.SearchColor(w.Seeds[0], 0, 0)
+	p.Propagate(0, 1, rules.Path(w.Rel), semnet.FuncAdd)
+	p.Barrier()
+	p.CollectNode(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			res, err := e.Submit(context.Background(), p)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if len(res.Collected(0)) == 0 {
+				b.Error("empty collection")
+				return
+			}
+		}
+	})
+}

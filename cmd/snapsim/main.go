@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"snap1/internal/isa"
 	"snap1/internal/kbfile"
@@ -39,6 +41,9 @@ func main() {
 	part := flag.String("partition", "semantic", "partitioning: sequential, round-robin, or semantic")
 	det := flag.Bool("det", true, "use the deterministic measurement engine")
 	verbose := flag.Bool("v", false, "print the instruction profile")
+	repeat := flag.Int("repeat", 1, "run the program N times (markers cleared between runs; useful with profiling)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the runs to this file")
+	memProfile := flag.String("memprofile", "", "write a post-run heap profile to this file")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -74,9 +79,44 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := m.Run(prog)
-	if err != nil {
-		log.Fatal(err)
+	defer m.Close()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	if *repeat < 1 {
+		*repeat = 1
+	}
+	var res *machine.Result
+	for i := 0; i < *repeat; i++ {
+		if i > 0 {
+			m.ClearMarkers()
+		}
+		res, err = m.Run(prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	cfg := m.Config()

@@ -365,10 +365,21 @@ func (e *Engine) emit(pe int, code perfmon.EventCode, status uint32, now timing.
 }
 
 // Close stops the dispatcher, waits for in-flight batches, and releases
-// the pool. Queued but undispatched queries fail with ErrClosed.
+// the pool, including each replica's persistent propagation workers.
+// Queued but undispatched queries fail with ErrClosed.
 func (e *Engine) Close() {
 	e.closeOnce.Do(func() { close(e.done) })
 	e.wg.Wait()
+	// Every replica is back in the idle channel once the dispatcher and
+	// all batch workers have exited; retire their host resources.
+	for {
+		select {
+		case m := <-e.idle:
+			m.Close()
+		default:
+			return
+		}
+	}
 }
 
 // Stats returns a snapshot of the engine's serving counters.

@@ -32,10 +32,21 @@ type cluster struct {
 	// during a phase (or by the lockstep engine single-threaded).
 	tasks   []task // min-heap on (ready, seq)
 	taskSeq uint64
-	relayQ  []transitMsg
-	visited map[visitKey]float32
+	relayQ  relayRing
+	visited visitTable
 	stats   phaseStats
+
+	// Reused host-side scratch, so the steady-state propagation loop
+	// allocates nothing per task: expand's child list, the mailbox
+	// drain buffer, and one task's outbound messages + tier levels.
+	childScratch []childSpec
+	recvBuf      []interMsg
+	sendBuf      []interMsg
+	lvlScratch   []uint16
 }
+
+// icnRecvBatch bounds how many messages one mailbox drain grant moves.
+const icnRecvBatch = 32
 
 // semaphore table entries guarding cluster-shared control state.
 const (
@@ -45,12 +56,17 @@ const (
 )
 
 func newCluster(id int, cfg *Config) *cluster {
+	recvCap := cfg.MailboxCap
+	if recvCap > icnRecvBatch {
+		recvCap = icnRecvBatch
+	}
 	c := &cluster{
 		id:      id,
 		store:   semnet.NewStore(cfg.NodesPerCluster),
 		muFree:  make([]timing.Time, cfg.musOf(id)),
-		visited: make(map[visitKey]float32),
+		recvBuf: make([]interMsg, recvCap),
 	}
+	c.visited.cap = cfg.NodesPerCluster
 	c.arb = mpmem.NewArbiter(cfg.Seed + int64(id))
 	c.sems = mpmem.NewTable(numClusterSems, c.arb)
 	return c
@@ -127,12 +143,90 @@ type transitMsg struct {
 	arrival timing.Time
 }
 
-// visitKey identifies one (marker, rule, state, node) propagation visit.
-type visitKey struct {
-	marker semnet.MarkerID
-	rule   rules.Token
-	state  rules.State
-	local  int32
+// relayRing is the CU's transit-message FIFO as a growable circular
+// buffer. The seed's head-slicing queue (q = q[1:]) kept the backing
+// array's consumed prefix unreachable-but-retained and regrew it every
+// phase; the ring reuses one buffer for the machine's lifetime.
+type relayRing struct {
+	buf  []transitMsg
+	head int
+	n    int
+}
+
+func (r *relayRing) push(t transitMsg) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = t
+	r.n++
+}
+
+func (r *relayRing) pop() (transitMsg, bool) {
+	if r.n == 0 {
+		return transitMsg{}, false
+	}
+	t := r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return t, true
+}
+
+func (r *relayRing) grow() {
+	nb := make([]transitMsg, max(2*len(r.buf), 8))
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf, r.head = nb, 0
+}
+
+func (r *relayRing) len() int { return r.n }
+
+func (r *relayRing) reset() { r.head, r.n = 0, 0 }
+
+// visitTable is the per-phase (marker, rule, state, node) visit record.
+// The seed used a Go map keyed by a four-field struct; its hashing and
+// probing dominated the host profile (~40% of phase time). The table
+// instead interns each phase's few (marker, rule, state) combinations
+// into dense per-node lanes, stamped with a phase epoch so reset is O(1)
+// and the lane storage is pooled for the machine's lifetime.
+type visitTable struct {
+	epoch  uint64
+	combos []uint32     // packed (marker, rule, state), index = lane
+	lanes  [][]visitEntry
+	cap    int // node-table capacity; fixes every lane's length
+}
+
+type visitEntry struct {
+	epoch uint64
+	val   float32
+}
+
+func packVisitKey(marker semnet.MarkerID, rule rules.Token, state rules.State) uint32 {
+	return uint32(marker)<<16 | uint32(rule)<<8 | uint32(state)
+}
+
+// slot returns the entry for (key, local), interning key's lane on first
+// use this phase. A phase touches a handful of combinations (one per
+// overlapped PROPAGATE and rule state), so the linear scan beats any
+// hash. An entry is live only when its epoch matches the table's.
+func (v *visitTable) slot(key uint32, local int) *visitEntry {
+	for i, k := range v.combos {
+		if k == key {
+			return &v.lanes[i][local]
+		}
+	}
+	v.combos = append(v.combos, key)
+	if len(v.lanes) < len(v.combos) {
+		v.lanes = append(v.lanes, make([]visitEntry, v.cap))
+	}
+	return &v.lanes[len(v.combos)-1][local]
+}
+
+// reset invalidates every entry and forgets the phase's lane interning;
+// lane storage is retained for reuse.
+func (v *visitTable) reset() {
+	v.epoch++
+	v.combos = v.combos[:0]
 }
 
 // phaseStats accumulates one cluster's contribution to a phase's
@@ -146,10 +240,10 @@ type phaseStats struct {
 }
 
 func (c *cluster) resetPhase() {
-	c.tasks = c.tasks[:0]
+	c.tasks = c.tasks[:0] // backing array pooled across phases
 	c.taskSeq = 0
-	c.relayQ = c.relayQ[:0]
-	clear(c.visited)
+	c.relayQ.reset()
+	c.visited.reset()
 	c.stats = phaseStats{}
 }
 
@@ -222,13 +316,16 @@ type childSpec struct {
 // expand performs the functional half of task processing, shared by both
 // engines: visited/merge bookkeeping, marker status and value-register
 // updates, and the relation-table walk. It returns the children to
-// dispatch and the marker-unit cost of the whole task.
+// dispatch and the marker-unit cost of the whole task. The returned
+// slice aliases the cluster's reusable scratch and is valid only until
+// the next expand on this cluster; both engines consume it immediately.
 //
 // Determinism: the value register converges to the Merge over all arriving
 // values regardless of order; a (marker, rule, state, node) key re-expands
 // only when its merged value strictly improves, so binary markers expand
 // exactly once per key and cost markers settle Bellman-Ford style.
 func (c *cluster) expand(m *Machine, t task) (children []childSpec, cost timing.Time) {
+	children = c.childScratch[:0]
 	cm := &m.cost
 	cycles := cm.TaskSwitchCycles
 	rule := m.curRules.Rule(t.rule)
@@ -237,17 +334,18 @@ func (c *cluster) expand(m *Machine, t task) (children []childSpec, cost timing.
 	value := t.value
 	if !t.isSource {
 		cycles += cm.StatusWordCycles // marker status read-modify-write
-		key := visitKey{marker: t.marker, rule: t.rule, state: t.state, local: t.local}
-		if prev, seen := c.visited[key]; seen {
-			merged := t.fn.Merge(prev, t.value)
-			if merged == prev {
+		slot := c.visited.slot(packVisitKey(t.marker, t.rule, t.state), int(t.local))
+		if slot.epoch == c.visited.epoch {
+			merged := t.fn.Merge(slot.val, t.value)
+			if merged == slot.val {
 				doExpand = false
 			} else {
-				c.visited[key] = merged
+				slot.val = merged
 				value = merged
 			}
 		} else {
-			c.visited[key] = t.value
+			slot.epoch = c.visited.epoch
+			slot.val = t.value
 		}
 
 		newly := c.store.Set(int(t.local), t.marker)
@@ -294,5 +392,6 @@ func (c *cluster) expand(m *Machine, t task) (children []childSpec, cost timing.
 		}
 		c.stats.steps += int64(len(children))
 	}
+	c.childScratch = children // retain any growth for the next task
 	return children, cm.PECost(cycles)
 }

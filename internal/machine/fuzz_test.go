@@ -9,6 +9,7 @@ import (
 	"snap1/internal/partition"
 	"snap1/internal/rules"
 	"snap1/internal/semnet"
+	"snap1/internal/timing"
 )
 
 // Randomized differential testing: arbitrary programs over arbitrary
@@ -113,6 +114,7 @@ func runProgram(t *testing.T, kb *semnet.KB, p *isa.Program, det bool, clusters 
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer m.Close()
 	if err := m.LoadKB(kb); err != nil {
 		t.Fatal(err)
 	}
@@ -181,5 +183,109 @@ func TestRandomProgramsEngineEquivalence(t *testing.T) {
 		// Cluster count must not change functional results.
 		other := runProgram(t, kb, p, true, clusters%8+1, 1)
 		diffStates(t, trial, lock, other, "cluster-count invariance")
+	}
+}
+
+// randomPropagateProgram emits a propagation-dominated stream: long runs of
+// back-to-back PROPAGATEs with only occasional barriers, so the overlap
+// window stays wide and the batched mailbox-drain / flush paths of the
+// concurrent engine see sustained multi-instruction load.
+func randomPropagateProgram(rng *rand.Rand, kb *semnet.KB, rels []semnet.RelType, cols []semnet.Color) *isa.Program {
+	p := isa.NewProgram()
+	mk := func() semnet.MarkerID { return semnet.MarkerID(rng.Intn(semnet.NumMarkers)) }
+	fns := []semnet.FuncCode{semnet.FuncNop, semnet.FuncAdd, semnet.FuncMin, semnet.FuncMax}
+	rel := func() semnet.RelType { return rels[rng.Intn(len(rels))] }
+	spec := func() rules.Spec {
+		switch rng.Intn(3) {
+		case 0:
+			return rules.Step(rel())
+		case 1:
+			return rules.Path(rel())
+		default:
+			return rules.Spread(rel(), rel())
+		}
+	}
+	for i := 0; i < 2+rng.Intn(3); i++ {
+		p.SearchColor(cols[rng.Intn(len(cols))], mk(), float32(rng.Intn(8)))
+	}
+	steps := 20 + rng.Intn(20)
+	for i := 0; i < steps; i++ {
+		p.Propagate(mk(), mk(), spec(), fns[rng.Intn(len(fns))])
+		if rng.Intn(8) == 0 {
+			p.Barrier()
+		}
+	}
+	p.Barrier()
+	p.CollectNode(semnet.MarkerID(rng.Intn(semnet.NumMarkers)))
+	return p
+}
+
+// TestRandomPropagateHeavyEquivalence is the differential check for the
+// batched host paths: propagation-heavy programs must produce identical
+// marker sets, marker values, and collection rows on the lockstep engine
+// and on the concurrent engine under several scheduling seeds.
+func TestRandomPropagateHeavyEquivalence(t *testing.T) {
+	trials := 12
+	if testing.Short() {
+		trials = 4
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(7000 + trial)))
+		kb, rels, cols := randomKB(rng)
+		p := randomPropagateProgram(rng, kb, rels, cols)
+		clusters := 1 + rng.Intn(8)
+
+		lock := runProgram(t, kb, p, true, clusters, 1)
+		for seed := int64(1); seed <= 3; seed++ {
+			conc := runProgram(t, kb, p, false, clusters, seed)
+			diffStates(t, trial, lock, conc,
+				fmt.Sprintf("lockstep vs concurrent (seed %d)", seed))
+		}
+	}
+}
+
+// TestLockstepVirtualTimeReproducible pins the bit-identity of the
+// deterministic engine's simulated-time accounting: the same program on
+// fresh machines must report the same virtual end time and step counts,
+// regardless of host scheduling or arbiter seed.
+func TestLockstepVirtualTimeReproducible(t *testing.T) {
+	trials := 6
+	if testing.Short() {
+		trials = 2
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(9000 + trial)))
+		kb, rels, cols := randomKB(rng)
+		p := randomPropagateProgram(rng, kb, rels, cols)
+
+		run := func(seed int64) (timing.Time, int64, int64) {
+			cfg := DefaultConfig()
+			cfg.Clusters = 4
+			cfg.NodesPerCluster = kb.NumNodes() + 32
+			cfg.Deterministic = true
+			cfg.Partition = partition.RoundRobin
+			cfg.Seed = seed
+			cfg.MaxDepth = 32
+			m, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m.Close()
+			if err := m.LoadKB(kb); err != nil {
+				t.Fatal(err)
+			}
+			res, err := m.Run(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Time, res.Profile.PropSteps, res.Profile.PropMessages
+		}
+
+		t1, s1, m1 := run(1)
+		t2, s2, m2 := run(99)
+		if t1 != t2 || s1 != s2 || m1 != m2 {
+			t.Fatalf("trial %d: lockstep run not reproducible: time %d vs %d, steps %d vs %d, msgs %d vs %d",
+				trial, t1, t2, s1, s2, m1, m2)
+		}
 	}
 }

@@ -30,6 +30,11 @@ type Machine struct {
 	bar      *barrier.Tiered
 	ctrl     *timing.Clock
 
+	// workers is the concurrent engine's persistent per-cluster worker
+	// pool, started lazily on the first concurrent phase and parked
+	// between flushes. Nil until then and after Close.
+	workers *workerPool
+
 	curRules *rules.Table // rule microcode for the program being run
 }
 
@@ -97,8 +102,22 @@ func (m *Machine) LoadKB(kb *semnet.KB) error {
 			return err
 		}
 	}
+	// The worker pool holds references to the old cluster array; retire
+	// it so the next concurrent phase starts workers over the new one.
+	m.Close()
 	m.kb, m.assign, m.localIdx, m.clusters = kb, assign, localIdx, clusters
 	return nil
+}
+
+// Close releases the machine's host resources: the persistent concurrent-
+// engine workers, if started. The machine must not be running a program.
+// Close is idempotent and non-terminal — a later Run simply restarts the
+// workers — so pools can Close replicas they retire.
+func (m *Machine) Close() {
+	if m.workers != nil {
+		m.workers.stop()
+		m.workers = nil
+	}
 }
 
 // Clone returns a replica of the machine sharing the loaded knowledge

@@ -2,7 +2,6 @@ package machine
 
 import (
 	"runtime"
-	"sync"
 
 	"snap1/internal/barrier"
 	"snap1/internal/icn"
@@ -63,8 +62,8 @@ func (m *Machine) flush(st *runState) {
 }
 
 // ---------------------------------------------------------------------
-// Concurrent engine: one goroutine per cluster, real mailboxes, live
-// termination detection.
+// Concurrent engine: one persistent worker per cluster, real mailboxes,
+// live termination detection.
 // ---------------------------------------------------------------------
 
 func (m *Machine) runPhaseConcurrent(entries []batchEntry) (barrier.Stats, phaseStats, timing.Time) {
@@ -72,16 +71,12 @@ func (m *Machine) runPhaseConcurrent(entries []batchEntry) (barrier.Stats, phase
 	for _, c := range m.clusters {
 		c.resetPhase()
 	}
-	var wg sync.WaitGroup
-	for _, c := range m.clusters {
-		wg.Add(1)
-		go func(c *cluster) {
-			defer wg.Done()
-			c.phaseLoop(m, entries)
-		}(c)
+	if m.workers == nil {
+		m.workers = m.startWorkers()
 	}
+	m.workers.beginPhase(entries, len(m.clusters))
 	bstats := m.bar.WaitGlobal()
-	wg.Wait()
+	m.workers.waitPhase()
 
 	var agg phaseStats
 	var end timing.Time
@@ -100,24 +95,27 @@ func (s *phaseStats) add(o *phaseStats) {
 	s.comm += o.comm
 }
 
-// phaseLoop is one cluster's MIMD propagation loop: drain the mailbox,
-// relay transit messages, process local tasks, and participate in the
-// tiered termination-detection protocol when quiescent.
+// phaseLoop is one cluster's MIMD propagation loop: drain the mailbox in
+// batches, relay transit messages, process local tasks, and participate
+// in the tiered termination-detection protocol when quiescent.
 func (c *cluster) phaseLoop(m *Machine, entries []batchEntry) {
 	c.injectSources(m, entries)
 	for {
 		worked := false
 		for {
-			msg, ok := m.net.TryRecv(c.id)
-			if !ok {
+			n := m.net.TryRecvBatch(c.id, c.recvBuf)
+			if n == 0 {
 				break
 			}
-			c.acceptMsg(m, msg)
+			for i := 0; i < n; i++ {
+				c.acceptMsg(m, c.recvBuf[i])
+			}
 			worked = true
+			if n < len(c.recvBuf) {
+				break
+			}
 		}
-		if len(c.relayQ) > 0 {
-			tm := c.relayQ[0]
-			c.relayQ = c.relayQ[1:]
+		if tm, ok := c.relayQ.pop(); ok {
 			c.relay(m, tm)
 			continue
 		}
@@ -131,7 +129,7 @@ func (c *cluster) phaseLoop(m *Machine, entries []batchEntry) {
 		// Quiescence candidacy: sample the wake sequence before the final
 		// emptiness check so an arriving message cannot be lost.
 		seq := m.bar.WakeSeq(c.id)
-		if m.net.Pending(c.id) > 0 || c.pendingTasks() > 0 || len(c.relayQ) > 0 {
+		if m.net.Pending(c.id) > 0 || c.pendingTasks() > 0 || c.relayQ.len() > 0 {
 			continue
 		}
 		if m.bar.WaitQuiescent(c.id, seq) {
@@ -173,7 +171,7 @@ func (c *cluster) injectSources(m *Machine, entries []batchEntry) {
 func (c *cluster) acceptMsg(m *Machine, msg interMsg) {
 	arrival := msg.SendTime + m.cost.HopLatency
 	if int(msg.DestCluster) != c.id {
-		c.relayQ = append(c.relayQ, transitMsg{msg: msg, arrival: arrival})
+		c.relayQ.push(transitMsg{msg: msg, arrival: arrival})
 		return
 	}
 	asm := m.cost.PECost(m.cost.MsgAssembleCycles)
@@ -204,22 +202,18 @@ func (c *cluster) relay(m *Machine, tm transitMsg) {
 	c.stats.comm += m.cost.HopLatency + asm
 	msg := tm.msg
 	msg.SendTime = end
-	c.xmit(m, msg, true)
+	c.xmit(m, msg)
 }
 
-// xmit injects or forwards a message with backpressure: while the next-hop
+// xmit forwards a transit message with backpressure: while the next-hop
 // mailbox region is full, the cluster services its own mailbox so the
-// array cannot deadlock on mutually full buffers.
-func (c *cluster) xmit(m *Machine, msg interMsg, forward bool) {
+// array cannot deadlock on mutually full buffers. (New injections go
+// through xmitBatch; relays move one at a time because each carries its
+// own CU relay timing.)
+func (c *cluster) xmit(m *Machine, msg interMsg) {
 	next := m.net.NextHop(c.id, int(msg.DestCluster))
 	for {
-		var ok bool
-		if forward {
-			ok = m.net.TryForward(c.id, msg)
-		} else {
-			ok = m.net.TrySend(c.id, msg)
-		}
-		if ok {
+		if m.net.TryForward(c.id, msg) {
 			m.bar.Wake(next)
 			return
 		}
@@ -233,9 +227,13 @@ func (c *cluster) xmit(m *Machine, msg interMsg, forward bool) {
 
 // processTaskConcurrent runs one task: expansion on a marker unit, local
 // children into the task queue, remote children through the CU and ICN.
+// Remote activations are assembled into the cluster's reusable outbound
+// buffer (each with its own CU-pipelined virtual send time), counted at
+// the barrier in one grant, and injected as a batch.
 func (c *cluster) processTaskConcurrent(m *Machine, t task) {
 	children, cost := c.expand(m, t)
 	end := c.muRun(t.ready, cost)
+	msgs, lvls := c.sendBuf[:0], c.lvlScratch[:0]
 	for _, ch := range children {
 		dest := m.assign[ch.to]
 		if dest == c.id {
@@ -260,8 +258,7 @@ func (c *cluster) processTaskConcurrent(m *Machine, t task) {
 		sendEnd := c.cuRun(end, m.cost.PECost(cuCycles))
 		c.stats.sends++
 		c.stats.comm += m.cost.PECost(cuCycles)
-		m.bar.Created(int(ch.level))
-		c.xmit(m, interMsg{
+		msgs = append(msgs, interMsg{
 			Marker:      t.marker,
 			Value:       ch.value,
 			Fn:          t.fn,
@@ -272,13 +269,50 @@ func (c *cluster) processTaskConcurrent(m *Machine, t task) {
 			DestCluster: uint8(dest),
 			Level:       ch.level,
 			SendTime:    sendEnd,
-		}, false)
+		})
+		lvls = append(lvls, ch.level)
 		if mon := m.cfg.Monitor; mon != nil {
 			mon.Emit(c.id, perfmon.EvMsgSend, uint32(dest), sendEnd)
 		}
 	}
+	if len(msgs) > 0 {
+		// Count the whole burst in flight before any message becomes
+		// visible to a receiver (the barrier protocol invariant).
+		m.bar.CreatedBatch(lvls)
+		c.xmitBatch(m, msgs)
+	}
+	c.sendBuf, c.lvlScratch = msgs[:0], lvls[:0]
 	if t.fromMsg {
 		m.bar.Consumed(int(t.level))
+	}
+}
+
+// xmitBatch injects one task's outbound messages with backpressure: the
+// longest deliverable prefix is enqueued per attempt (consecutive
+// same-next-hop messages share one mailbox grant); while the next-hop
+// region is full the cluster services its own mailbox so the array
+// cannot deadlock on mutually full buffers.
+func (c *cluster) xmitBatch(m *Machine, msgs []interMsg) {
+	i := 0
+	for i < len(msgs) {
+		n := m.net.TrySendBatch(c.id, msgs[i:])
+		if n > 0 {
+			lastWake := -1
+			for j := i; j < i+n; j++ {
+				next := m.net.NextHop(c.id, int(msgs[j].DestCluster))
+				if next != lastWake {
+					m.bar.Wake(next)
+					lastWake = next
+				}
+			}
+			i += n
+			continue
+		}
+		if in, got := m.net.TryRecv(c.id); got {
+			c.acceptMsg(m, in)
+		} else {
+			runtime.Gosched()
+		}
 	}
 }
 

@@ -1,0 +1,8 @@
+//go:build race
+
+package machine
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count assertions are skipped under it because the detector
+// itself allocates shadow state on hot paths.
+const raceEnabled = true

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 )
 
 // NumPorts is the port count of one four-port memory.
@@ -166,6 +167,7 @@ type Queue[T any] struct {
 	buf      []T
 	head     int
 	n        int
+	size     atomic.Int32 // mirrors n; lock-free empty-poll fast path
 	closed   bool
 
 	puts        int64
@@ -198,14 +200,26 @@ func (q *Queue[T]) Put(v T) bool {
 	if q.closed {
 		return false
 	}
-	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.buf[q.tailLocked()] = v
 	q.n++
+	q.size.Store(int32(q.n))
 	q.puts++
 	if q.n > q.highWater {
 		q.highWater = q.n
 	}
 	q.notEmpty.Signal()
 	return true
+}
+
+// tailLocked returns the next free slot index without a modulo (the
+// capacity is not a power of two in general, and an integer divide per
+// message is measurable in the propagation hot path).
+func (q *Queue[T]) tailLocked() int {
+	i := q.head + q.n
+	if i >= len(q.buf) {
+		i -= len(q.buf)
+	}
+	return i
 }
 
 // TryPut enqueues v only if space is available.
@@ -215,8 +229,9 @@ func (q *Queue[T]) TryPut(v T) bool {
 	if q.closed || q.n == len(q.buf) {
 		return false
 	}
-	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.buf[q.tailLocked()] = v
 	q.n++
+	q.size.Store(int32(q.n))
 	q.puts++
 	if q.n > q.highWater {
 		q.highWater = q.n
@@ -239,8 +254,13 @@ func (q *Queue[T]) Get() (v T, ok bool) {
 	return q.dequeueLocked(), true
 }
 
-// TryGet dequeues without blocking.
+// TryGet dequeues without blocking. An empty region is detected without
+// taking the lock; the polling loops of the propagation engine hit this
+// path once per work item.
 func (q *Queue[T]) TryGet() (v T, ok bool) {
+	if q.size.Load() == 0 {
+		return v, false
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.n == 0 {
@@ -249,12 +269,78 @@ func (q *Queue[T]) TryGet() (v T, ok bool) {
 	return q.dequeueLocked(), true
 }
 
+// TryGetBatch dequeues up to len(buf) entries into buf in one critical
+// section — one arbiter grant drains a whole burst instead of paying a
+// lock round-trip per message. It returns the number dequeued (0 when the
+// region is empty).
+func (q *Queue[T]) TryGetBatch(buf []T) int {
+	if q.size.Load() == 0 {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := q.n
+	if n > len(buf) {
+		n = len(buf)
+	}
+	var zero T
+	for i := 0; i < n; i++ {
+		buf[i] = q.buf[q.head]
+		q.buf[q.head] = zero
+		if q.head++; q.head == len(q.buf) {
+			q.head = 0
+		}
+	}
+	if n > 0 {
+		q.n -= n
+		q.size.Store(int32(q.n))
+		q.gets += int64(n)
+		q.notFull.Broadcast()
+	}
+	return n
+}
+
+// TryPutBatch enqueues the longest prefix of vs that fits in one critical
+// section and returns how many entries were accepted (0 when the region
+// is full or closed). The unaccepted suffix is untouched.
+func (q *Queue[T]) TryPutBatch(vs []T) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return 0
+	}
+	n := len(q.buf) - q.n
+	if n > len(vs) {
+		n = len(vs)
+	}
+	for i := 0; i < n; i++ {
+		j := q.head + q.n + i
+		if j >= len(q.buf) {
+			j -= len(q.buf)
+		}
+		q.buf[j] = vs[i]
+	}
+	if n > 0 {
+		q.n += n
+		q.size.Store(int32(q.n))
+		q.puts += int64(n)
+		if q.n > q.highWater {
+			q.highWater = q.n
+		}
+		q.notEmpty.Broadcast()
+	}
+	return n
+}
+
 func (q *Queue[T]) dequeueLocked() T {
 	v := q.buf[q.head]
 	var zero T
 	q.buf[q.head] = zero
-	q.head = (q.head + 1) % len(q.buf)
+	if q.head++; q.head == len(q.buf) {
+		q.head = 0
+	}
 	q.n--
+	q.size.Store(int32(q.n))
 	q.gets++
 	q.notFull.Signal()
 	return v

@@ -1,9 +1,11 @@
 package mpmem
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestArbiterMutualExclusion(t *testing.T) {
@@ -218,5 +220,136 @@ func TestQueueZeroCapacityClamped(t *testing.T) {
 	q := NewQueue[int](0)
 	if q.Cap() != 1 {
 		t.Fatal("capacity must clamp to 1")
+	}
+}
+
+func TestQueueBatchFIFOAndWrap(t *testing.T) {
+	q := NewQueue[int](5)
+	for i := 0; i < 4; i++ {
+		if !q.TryPut(i) {
+			t.Fatalf("TryPut(%d)", i)
+		}
+	}
+	buf := make([]int, 2)
+	if n := q.TryGetBatch(buf); n != 2 || buf[0] != 0 || buf[1] != 1 {
+		t.Fatalf("TryGetBatch = %d, buf = %v", n, buf)
+	}
+	// head is now 2 with 2 entries; a 4-entry batch must accept only the
+	// 3 that fit, writing across the ring's wrap point.
+	if n := q.TryPutBatch([]int{4, 5, 6, 7}); n != 3 {
+		t.Fatalf("TryPutBatch into 3 free slots accepted %d", n)
+	}
+	want := []int{2, 3, 4, 5, 6}
+	out := make([]int, 8)
+	if n := q.TryGetBatch(out); n != 5 {
+		t.Fatalf("drain batch = %d", n)
+	}
+	for i, w := range want {
+		if out[i] != w {
+			t.Fatalf("drained %v, want %v", out[:5], want)
+		}
+	}
+	if n := q.TryGetBatch(out); n != 0 {
+		t.Fatalf("empty queue batch = %d", n)
+	}
+}
+
+func TestQueueBatchStatsAndClose(t *testing.T) {
+	q := NewQueue[int](8)
+	if n := q.TryPutBatch([]int{1, 2, 3}); n != 3 {
+		t.Fatalf("TryPutBatch = %d", n)
+	}
+	buf := make([]int, 8)
+	if n := q.TryGetBatch(buf); n != 3 {
+		t.Fatalf("TryGetBatch = %d", n)
+	}
+	puts, gets, _, high := q.Stats()
+	if puts != 3 || gets != 3 || high != 3 {
+		t.Fatalf("stats = %d puts, %d gets, high %d; want 3,3,3", puts, gets, high)
+	}
+	q.Close()
+	if n := q.TryPutBatch([]int{9}); n != 0 {
+		t.Fatal("TryPutBatch after Close must accept nothing")
+	}
+}
+
+func TestQueueBatchWakesBlockedProducer(t *testing.T) {
+	q := NewQueue[int](2)
+	q.Put(1)
+	q.Put(2)
+	unblocked := make(chan struct{})
+	go func() {
+		q.Put(3) // blocks until a batch drain frees space
+		close(unblocked)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-unblocked:
+		t.Fatal("Put proceeded while full")
+	default:
+	}
+	buf := make([]int, 2)
+	if n := q.TryGetBatch(buf); n != 2 {
+		t.Fatalf("drain = %d", n)
+	}
+	select {
+	case <-unblocked:
+	case <-time.After(2 * time.Second):
+		t.Fatal("batch drain did not wake blocked producer")
+	}
+}
+
+func TestQueueBatchConcurrent(t *testing.T) {
+	const producers, items = 4, 500
+	q := NewQueue[int](7) // odd capacity exercises the wrap arithmetic
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			batch := make([]int, 0, 8)
+			for i := 0; i < items; i++ {
+				batch = append(batch, p*items+i)
+				if len(batch) == cap(batch) || i == items-1 {
+					for len(batch) > 0 {
+						n := q.TryPutBatch(batch)
+						batch = batch[:copy(batch, batch[n:])]
+						if n == 0 {
+							runtime.Gosched()
+						}
+					}
+					batch = batch[:0]
+				}
+			}
+		}(p)
+	}
+	seen := make(map[int]bool, producers*items)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]int, 8)
+		for len(seen) < producers*items {
+			n := q.TryGetBatch(buf)
+			if n == 0 {
+				runtime.Gosched()
+				continue
+			}
+			for _, v := range buf[:n] {
+				if seen[v] {
+					t.Errorf("duplicate item %d", v)
+					return
+				}
+				seen[v] = true
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("consumer did not drain all items")
+	}
+	if len(seen) != producers*items {
+		t.Fatalf("delivered %d distinct items, want %d", len(seen), producers*items)
 	}
 }

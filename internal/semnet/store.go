@@ -1,6 +1,9 @@
 package semnet
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Store holds one cluster's partition of the knowledge base in the three
 // physical tables of the paper's Fig. 4:
@@ -250,11 +253,11 @@ func (s *Store) Not(m1, m2 MarkerID) int {
 // so the guard is correct even when m3 aliases an operand. Value registers
 // of markers that were not set contribute zero: a cleared marker's stale
 // register contents must not leak into results.
-func (s *Store) combineValues(w int, bits, w1, w2 uint32, m1, m2, m3 MarkerID, fn FuncCode) {
+func (s *Store) combineValues(w int, set, w1, w2 uint32, m1, m2, m3 MarkerID, fn FuncCode) {
 	s.ensureValues(m3)
-	for bits != 0 {
-		b := trailingZeros32(bits)
-		bits &^= 1 << uint(b)
+	for set != 0 {
+		b := bits.TrailingZeros32(set)
+		set &^= 1 << uint(b)
 		local := w*WordBits + b
 		set1 := w1&(1<<uint(b)) != 0
 		set2 := w2&(1<<uint(b)) != 0
@@ -318,10 +321,10 @@ func (s *Store) FuncAll(m MarkerID, fn FuncCode, operand float32) int {
 	}
 	s.ensureValues(m)
 	for w := 0; w < words; w++ {
-		bits := s.status[m][w]
-		for bits != 0 {
-			b := trailingZeros32(bits)
-			bits &^= 1 << uint(b)
+		set := s.status[m][w]
+		for set != 0 {
+			b := bits.TrailingZeros32(set)
+			set &^= 1 << uint(b)
 			local := w*WordBits + b
 			s.value[m][local] = fn.Apply(s.value[m][local], operand)
 		}
@@ -334,10 +337,10 @@ func (s *Store) FuncAll(m MarkerID, fn FuncCode, operand float32) int {
 func (s *Store) ForEachSet(m MarkerID, f func(local int)) int {
 	words := s.Words()
 	for w := 0; w < words; w++ {
-		bits := s.status[m][w]
-		for bits != 0 {
-			b := trailingZeros32(bits)
-			bits &^= 1 << uint(b)
+		set := s.status[m][w]
+		for set != 0 {
+			b := bits.TrailingZeros32(set)
+			set &^= 1 << uint(b)
 			f(w*WordBits + b)
 		}
 	}
@@ -348,29 +351,7 @@ func (s *Store) ForEachSet(m MarkerID, f func(local int)) int {
 func (s *Store) CountSet(m MarkerID) int {
 	n := 0
 	for _, w := range s.status[m] {
-		n += onesCount32(w)
+		n += bits.OnesCount32(w)
 	}
 	return n
-}
-
-// trailingZeros32 is math/bits.TrailingZeros32, reimplemented locally so
-// hot loops stay allocation- and import-free in this package's core table
-// code. (The de Bruijn method used by the standard library.)
-func trailingZeros32(x uint32) int {
-	if x == 0 {
-		return 32
-	}
-	return int(deBruijn32tab[(x&-x)*0x077CB531>>27])
-}
-
-var deBruijn32tab = [32]byte{
-	0, 1, 28, 2, 29, 14, 24, 3, 30, 22, 20, 15, 25, 17, 4, 8,
-	31, 27, 13, 23, 21, 19, 16, 7, 26, 12, 18, 6, 11, 5, 10, 9,
-}
-
-func onesCount32(x uint32) int {
-	x -= (x >> 1) & 0x55555555
-	x = x&0x33333333 + (x>>2)&0x33333333
-	x = (x + x>>4) & 0x0f0f0f0f
-	return int(x * 0x01010101 >> 24)
 }

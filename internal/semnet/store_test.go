@@ -2,7 +2,6 @@ package semnet
 
 import (
 	"errors"
-	"math/bits"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -225,11 +224,36 @@ func TestStoreMutations(t *testing.T) {
 	}
 }
 
-// Bit-twiddling helpers must agree with math/bits.
-func TestBitHelpersQuick(t *testing.T) {
-	f := func(x uint32) bool {
-		return onesCount32(x) == bits.OnesCount32(x) &&
-			trailingZeros32(x) == bits.TrailingZeros32(x)
+// Word-level bit scanning (CountSet, ForEachSet) must agree with per-node
+// Test over arbitrary marker patterns.
+func TestBitScanQuick(t *testing.T) {
+	f := func(pattern uint64, span uint8) bool {
+		n := 1 + int(span)%100
+		s := NewStore(n)
+		for i := 0; i < n; i++ {
+			if _, err := s.AddNode(NodeID(i), 0, FuncNop); err != nil {
+				return false
+			}
+			if pattern&(1<<(uint(i)%64)) != 0 {
+				s.Set(i, 0)
+			}
+		}
+		want := 0
+		for i := 0; i < n; i++ {
+			if s.Test(i, 0) {
+				want++
+			}
+		}
+		got := 0
+		prev := -1
+		s.ForEachSet(0, func(local int) {
+			if local <= prev || !s.Test(local, 0) {
+				got = -1 << 30 // order or membership violation
+			}
+			prev = local
+			got++
+		})
+		return s.CountSet(0) == want && got == want
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

@@ -6,6 +6,16 @@
 //
 //	go run ./cmd/snapbench -o BENCH_PROPAGATE.json
 //
+// With -engine-o it additionally runs the sharded query-serving suite
+// (the BenchmarkEngineSharded workloads: 1/4/16 replicas, hot / cold /
+// mixed temperature) and writes BENCH_ENGINE.json:
+//
+//	go run ./cmd/snapbench -engine-o BENCH_ENGINE.json
+//
+// -fence-hot-allocs N makes the run fail if the steady-state hot
+// serving path (16 replicas, result-cache hits) allocates more than N
+// times per query — the CI regression fence for the serving layer.
+//
 // See docs/PERF.md for the measurement methodology and the history of
 // what these numbers looked like before the host hot-path overhaul.
 package main
@@ -18,6 +28,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"snap1/internal/engine"
@@ -30,13 +41,14 @@ import (
 
 // Result is one benchmark's outcome in the JSON report.
 type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	TasksPerOp  float64 `json:"tasks_per_phase,omitempty"`
-	NsPerTask   float64 `json:"ns_per_task,omitempty"`
+	Name          string  `json:"name"`
+	Iterations    int     `json:"iterations"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	TasksPerOp    float64 `json:"tasks_per_phase,omitempty"`
+	NsPerTask     float64 `json:"ns_per_task,omitempty"`
+	QueriesPerSec float64 `json:"queries_per_sec,omitempty"`
 }
 
 // Report is the full BENCH_PROPAGATE.json document.
@@ -54,6 +66,8 @@ func main() {
 	log.SetPrefix("snapbench: ")
 	testing.Init() // registers test.* flags so benchtime is settable
 	out := flag.String("o", "", "write the JSON report to this file (default: stdout)")
+	engineOut := flag.String("engine-o", "", "also run the sharded engine suite and write its JSON report here")
+	fence := flag.Int64("fence-hot-allocs", -1, "fail if the hot serving path at 16 replicas exceeds this allocs/query (-1 disables)")
 	benchtime := flag.Duration("benchtime", 0, "minimum run time per benchmark (0 = testing default of 1s)")
 	flag.Parse()
 	if *benchtime > 0 {
@@ -63,34 +77,68 @@ func main() {
 		}
 	}
 
-	rep := Report{
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Workload:   "alpha=256 depth-10 chains, PaperConfig (16 clusters), PATH/add propagation",
+	// The propagate report keeps its historical default (stdout); it is
+	// skipped only when the run asks solely for the engine report.
+	if *out != "" || *engineOut == "" {
+		rep := Report{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Workload:   "alpha=256 depth-10 chains, PaperConfig (16 clusters), PATH/add propagation",
+		}
+		for _, eng := range []struct {
+			name string
+			det  bool
+		}{{"propagate_phase/concurrent", false}, {"propagate_phase/lockstep", true}} {
+			rep.Results = append(rep.Results, toResult(eng.name, testing.Benchmark(phaseBench(eng.det))))
+		}
+		rep.Results = append(rep.Results, toResult("engine_throughput", testing.Benchmark(throughputBench)))
+		writeReport(rep, *out)
 	}
-	for _, eng := range []struct {
-		name string
-		det  bool
-	}{{"propagate_phase/concurrent", false}, {"propagate_phase/lockstep", true}} {
-		rep.Results = append(rep.Results, toResult(eng.name, testing.Benchmark(phaseBench(eng.det))))
-	}
-	rep.Results = append(rep.Results, toResult("engine_throughput", testing.Benchmark(throughputBench)))
 
+	if *engineOut != "" {
+		rep := Report{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Workload:   "alpha=128 depth-8 chains, PaperConfig (16 clusters), sharded dispatch; hot=result-cache hits, cold=256 distinct uncached queries, mixed=50% hot + 1024-query sweep over a 128-entry cache",
+		}
+		w := kbgen.Chains(1, 128, 8, 1)
+		var hotAllocs int64 = -1
+		for _, replicas := range []int{1, 4, 16} {
+			for _, mix := range []string{"hot", "cold", "mixed"} {
+				br := testing.Benchmark(engineShardedBench(w, replicas, mix))
+				r := toResult(fmt.Sprintf("engine_sharded/r=%d/%s", replicas, mix), br)
+				r.QueriesPerSec = float64(br.N) / br.T.Seconds()
+				rep.Results = append(rep.Results, r)
+				if replicas == 16 && mix == "hot" {
+					hotAllocs = br.AllocsPerOp()
+				}
+			}
+		}
+		writeReport(rep, *engineOut)
+		if *fence >= 0 && hotAllocs > *fence {
+			log.Fatalf("alloc fence: hot serving path at 16 replicas allocates %d/query, fence is %d", hotAllocs, *fence)
+		}
+	}
+}
+
+func writeReport(rep Report, path string) {
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}
 	enc = append(enc, '\n')
-	if *out == "" {
+	if path == "" {
 		os.Stdout.Write(enc)
 		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("wrote %s\n", path)
 }
 
 func toResult(name string, br testing.BenchmarkResult) Result {
@@ -153,6 +201,77 @@ func phaseBench(det bool) func(b *testing.B) {
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(tasks), "ns/task")
 		}
 	}
+}
+
+// engineShardedBench mirrors BenchmarkEngineSharded: parallel submitters
+// over a sharded work-stealing pool at the given size, with the workload
+// temperature selecting how much of the traffic the result cache can
+// serve (hot: all of it; cold: none — caching off; mixed: half).
+func engineShardedBench(w *kbgen.Workload, replicas int, mix string) func(b *testing.B) {
+	return func(b *testing.B) {
+		cfg := machine.PaperConfig()
+		cfg.Deterministic = true
+		opts := []engine.Option{engine.WithReplicas(replicas), engine.WithMachineConfig(cfg), engine.WithQueueCap(4096)}
+		poolSize := 0
+		switch mix {
+		case "cold":
+			opts = append(opts, engine.WithResultCache(0))
+			poolSize = 256
+		case "mixed":
+			opts = append(opts, engine.WithResultCache(128))
+			poolSize = 1024
+		}
+		e, err := engine.New(w.KB, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer e.Close()
+
+		hot := shardedProgram(w, -1)
+		pool := make([]*isa.Program, poolSize)
+		for i := range pool {
+			pool[i] = shardedProgram(w, i)
+		}
+		if _, err := e.Submit(context.Background(), hot); err != nil {
+			b.Fatal(err)
+		}
+
+		var next atomic.Uint64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				p := hot
+				if poolSize > 0 {
+					n := next.Add(1)
+					if mix == "cold" || n%2 == 0 {
+						p = pool[int(n)%poolSize]
+					}
+				}
+				res, err := e.Submit(context.Background(), p)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if len(res.Collected(0)) == 0 {
+					b.Error("empty collection")
+					return
+				}
+			}
+		})
+	}
+}
+
+// shardedProgram builds the canonical chain-propagation query with a
+// distinguishing initial marker value: variants hash differently but
+// cost the same to execute.
+func shardedProgram(w *kbgen.Workload, variant int) *isa.Program {
+	p := isa.NewProgram()
+	p.SearchColor(w.Seeds[0], 0, float32(variant))
+	p.Propagate(0, 1, rules.Path(w.Rel), semnet.FuncAdd)
+	p.Barrier()
+	p.CollectNode(1)
+	return p
 }
 
 // throughputBench mirrors BenchmarkEngineThroughput: parallel submitters

@@ -1,17 +1,23 @@
 // Command snapd serves SNAP-1 marker-propagation queries over HTTP: a
-// resident knowledge base, a pool of simulated array replicas, and a
-// batching query engine behind a JSON API.
+// resident knowledge base, a pool of simulated array replicas behind
+// sharded work-stealing run queues, and a result-caching query engine
+// behind a JSON API.
 //
 // Usage:
 //
 //	snapd -gen 4000 -domain -addr :8080
-//	snapd -kb network.kb -replicas 8
+//	snapd -kb network.kb -replicas 8 -max-inflight 512
 //
 // Endpoints:
 //
 //	POST /v1/query   {"program": "<SNAP assembly>", "timeout_ms": 1000}
 //	                 (or Content-Type: text/plain with raw assembly)
-//	GET  /v1/stats   serving counters, batch stats, per-stage latency
+//	GET  /v1/stats   serving counters, batch/steal/shed stats, cache
+//	                 hit rates, per-stage latency
+//
+// Overloaded submissions (full queue or in-flight ceiling) answer 503
+// with a Retry-After header. SIGINT/SIGTERM drains in-flight queries
+// before exit.
 //
 // Example:
 //
@@ -22,11 +28,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"snap1/internal/engine"
 	"snap1/internal/kbfile"
@@ -45,8 +56,13 @@ func main() {
 	gen := flag.Int("gen", 0, "generate a synthetic knowledge base of N nodes instead")
 	domain := flag.Bool("domain", false, "embed the newswire micro-domain in the generated network")
 	seed := flag.Int64("seed", 42, "generation seed")
-	replicas := flag.Int("replicas", 4, "machine-pool size")
-	maxBatch := flag.Int("max-batch", 8, "max queries dispatched to one replica per round")
+	replicas := flag.Int("replicas", 4, "machine-pool size (one run-queue shard per replica)")
+	maxBatch := flag.Int("max-batch", 8, "max queries one replica drains or steals per round")
+	queueCap := flag.Int("queue-cap", 256, "submit-queue capacity; beyond it queries shed with 503")
+	cacheCap := flag.Int("cache-cap", 128, "compile-cache entry bound")
+	resultCache := flag.Int("result-cache", 1024, "result-cache entry bound (0 disables result caching)")
+	maxInFlight := flag.Int("max-inflight", 0, "in-flight query ceiling, 0 = no ceiling beyond -queue-cap")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight queries")
 	clusters := flag.Int("clusters", 16, "cluster count per replica")
 	part := flag.String("partition", "semantic", "partitioning: sequential, round-robin, or semantic")
 	monCap := flag.Int("monitor", 4096, "perfmon FIFO capacity (0 disables)")
@@ -60,6 +76,10 @@ func main() {
 	opts := []engine.Option{
 		engine.WithReplicas(*replicas),
 		engine.WithMaxBatch(*maxBatch),
+		engine.WithQueueCap(*queueCap),
+		engine.WithCacheCap(*cacheCap),
+		engine.WithResultCache(*resultCache),
+		engine.WithMaxInFlight(*maxInFlight),
 		engine.WithMachineOptions(
 			machine.WithClusters(*clusters),
 			machine.WithMarkerUnits(2, 0),
@@ -70,17 +90,36 @@ func main() {
 	if *monCap > 0 {
 		opts = append(opts, engine.WithMonitor(perfmon.NewCollector(*monCap)))
 	}
+	start := time.Now()
 	eng, err := engine.New(kb, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer eng.Close()
 
-	log.Printf("serving %d-node knowledge base on %d replicas at %s",
-		kb.NumNodes(), *replicas, *addr)
-	if err := http.ListenAndServe(*addr, engine.NewServer(eng)); err != nil {
+	srv := &http.Server{Addr: *addr, Handler: engine.NewServer(eng)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("serving %d-node knowledge base on %d replicas at %s (pool up in %v)",
+		kb.NumNodes(), *replicas, *addr, time.Since(start).Round(time.Millisecond))
+
+	// Graceful shutdown: stop accepting, let in-flight queries drain
+	// within the deadline, then retire the replica pool.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
 		log.Fatal(err)
+	case <-ctx.Done():
 	}
+	stop()
+	log.Printf("shutting down, draining for up to %v", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	eng.Close()
+	log.Printf("bye")
 }
 
 func loadKB(path string, gen int, domain bool, seed int64) (*semnet.KB, error) {

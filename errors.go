@@ -26,4 +26,9 @@ var (
 
 	// ErrEngineClosed is returned by Engine.Submit after Engine.Close.
 	ErrEngineClosed = engine.ErrClosed
+
+	// ErrEngineOverloaded is returned by Engine.Submit when admission
+	// control sheds the query: the submit queue is full or the in-flight
+	// ceiling is reached. Retry after backoff.
+	ErrEngineOverloaded = engine.ErrOverloaded
 )

@@ -4,62 +4,98 @@ import (
 	"container/list"
 	"sync"
 
-	"snap1/internal/isa"
+	"snap1/internal/machine"
 )
 
-// lruCache memoizes assembled programs by source content hash. A program
-// in the cache is shared by every query that hits it; compiled programs
-// are immutable during execution, so sharing is safe.
-type lruCache struct {
+// lruCache is a mutex-guarded LRU used for both engine caches: compiled
+// programs keyed by source content hash, and query results keyed by
+// (program hash, KB generation). Cached values are shared by every
+// query that hits them; both value types are immutable once published,
+// so sharing is safe.
+type lruCache[K comparable, V any] struct {
 	mu    sync.Mutex
 	cap   int
-	order *list.List               // front = most recently used
-	byKey map[uint64]*list.Element // value: *cacheEntry
+	order *list.List          // front = most recently used
+	byKey map[K]*list.Element // value: *cacheEntry[K, V]
 }
 
-type cacheEntry struct {
-	key  uint64
-	prog *isa.Program
+type cacheEntry[K comparable, V any] struct {
+	key K
+	val V
 }
 
-func newLRUCache(capacity int) *lruCache {
-	return &lruCache{
+func newLRUCache[K comparable, V any](capacity int) *lruCache[K, V] {
+	return &lruCache[K, V]{
 		cap:   capacity,
 		order: list.New(),
-		byKey: make(map[uint64]*list.Element, capacity),
+		byKey: make(map[K]*list.Element, capacity),
 	}
 }
 
-func (c *lruCache) get(key uint64) (*isa.Program, bool) {
+func (c *lruCache[K, V]) get(key K) (V, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.byKey[key]
 	if !ok {
-		return nil, false
+		var zero V
+		return zero, false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).prog, true
+	return el.Value.(*cacheEntry[K, V]).val, true
 }
 
-func (c *lruCache) put(key uint64, prog *isa.Program) {
+func (c *lruCache[K, V]) put(key K, val V) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
 		c.order.MoveToFront(el)
-		el.Value.(*cacheEntry).prog = prog
+		el.Value.(*cacheEntry[K, V]).val = val
 		return
 	}
-	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, prog: prog})
+	c.byKey[key] = c.order.PushFront(&cacheEntry[K, V]{key: key, val: val})
 	for c.order.Len() > c.cap {
 		tail := c.order.Back()
 		c.order.Remove(tail)
-		delete(c.byKey, tail.Value.(*cacheEntry).key)
+		delete(c.byKey, tail.Value.(*cacheEntry[K, V]).key)
 	}
 }
 
 // len reports the resident entry count (test support).
-func (c *lruCache) len() int {
+func (c *lruCache[K, V]) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
 }
+
+// resultKey identifies a memoized query result: the program's content
+// hash plus the knowledge base's structural generation at execution
+// time. A KB mutation bumps the generation, so stale results can never
+// satisfy a post-mutation query — they simply stop being looked up and
+// age out of the LRU.
+type resultKey struct {
+	hash uint64
+	gen  uint64
+}
+
+// resultCache memoizes read-only query results. Every accepted query is
+// a pure function of (program, topology): markers are cleared before
+// each run and mutating programs are refused, so on the deterministic
+// lockstep engine a cached Result — collections and virtual time both —
+// is bit-identical to recomputation.
+type resultCache struct {
+	lru *lruCache[resultKey, *machine.Result]
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{lru: newLRUCache[resultKey, *machine.Result](capacity)}
+}
+
+func (c *resultCache) get(hash, gen uint64) (*machine.Result, bool) {
+	return c.lru.get(resultKey{hash: hash, gen: gen})
+}
+
+func (c *resultCache) put(hash, gen uint64, res *machine.Result) {
+	c.lru.put(resultKey{hash: hash, gen: gen}, res)
+}
+
+func (c *resultCache) len() int { return c.lru.len() }

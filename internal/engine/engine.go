@@ -3,14 +3,23 @@
 // users, grown to a concurrent serving surface.
 //
 // An Engine owns a pool of machine replicas that share one preprocessed,
-// partitioned knowledge base (downloaded once, cloned per replica without
-// re-partitioning) and a submit queue of marker-propagation queries. A
-// dispatcher batches queued queries onto idle replicas; each query runs
-// with fresh marker state and honors its context's cancellation and
+// partitioned knowledge base (downloaded once, then cloned per replica —
+// concurrently, over shared-immutable topology tables — without
+// re-partitioning). Each replica owns a private run-queue shard: Submit
+// hashes the query onto a shard, the shard's owner drains it in batches,
+// and idle replicas steal batches from loaded shards, so there is no
+// central dispatcher lock between submitters and replicas. Each query
+// runs with fresh marker state and honors its context's cancellation and
 // deadline between instructions. The request path is pipelined:
 //
 //	assembly → rule/program compilation (LRU-cached by content hash)
+//	         → result cache (by Program.Hash + KB generation)
+//	         → singleflight (identical in-flight queries collapse)
 //	         → execution on a pooled replica → collection
+//
+// Admission control sheds load instead of queueing without bound: a
+// full submit queue (QueueCap) or a reached in-flight ceiling
+// (MaxInFlight) fails fast with ErrOverloaded.
 //
 // Only read-only programs are accepted: replicas share the downloaded
 // network topology, so topology-mutating instructions (CREATE, DELETE,
@@ -23,8 +32,10 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"snap1/internal/isa"
@@ -38,6 +49,11 @@ import (
 var (
 	// ErrClosed is returned by Submit after Close.
 	ErrClosed = errors.New("engine: closed")
+	// ErrOverloaded is returned when admission control sheds a query:
+	// the submit queue is full (QueueCap) or the in-flight ceiling
+	// (MaxInFlight) is reached. Retry after backoff; the HTTP surface
+	// maps it to 503 with a Retry-After header.
+	ErrOverloaded = errors.New("engine: overloaded")
 	// ErrMutatingProgram rejects topology-mutating programs; it wraps
 	// isa.ErrBadProgram so errors.Is(err, snap1.ErrBadProgram) holds.
 	ErrMutatingProgram = fmt.Errorf("%w: engine: topology-mutating instruction in query", isa.ErrBadProgram)
@@ -46,23 +62,35 @@ var (
 // Config parameterizes an Engine. The zero value of any field selects
 // its default.
 type Config struct {
-	// Replicas is the machine-pool size (default 4).
+	// Replicas is the machine-pool size; one run-queue shard and one
+	// serving goroutine per replica (default 4).
 	Replicas int
-	// MaxBatch bounds how many queued queries one dispatch round hands
-	// to a single replica (default 8).
+	// MaxBatch bounds how many queued queries one replica drains (or
+	// steals) per serving round (default 8).
 	MaxBatch int
-	// QueueCap is the submit-queue capacity; Submit blocks (honoring
-	// its context) when the queue is full (default 256).
+	// QueueCap bounds the queries queued across all shards; Submit
+	// fails fast with ErrOverloaded when it is reached (default 256).
 	QueueCap int
 	// CacheCap is the compile-cache entry bound (default 128).
 	CacheCap int
+	// ResultCacheCap bounds the query result cache (default 1024).
+	// Negative disables result caching and singleflight deduplication.
+	// The cache only operates on deterministic replica configurations,
+	// where a memoized Result (virtual time included) is bit-identical
+	// to recomputation.
+	ResultCacheCap int
+	// MaxInFlight caps admitted-but-unfinished queries (queued plus
+	// executing); submissions beyond it fail fast with ErrOverloaded.
+	// 0 means no ceiling beyond QueueCap.
+	MaxInFlight int
 	// Machine configures every replica. Zero value: the paper's
 	// 16-cluster evaluation array with the deterministic lockstep
 	// execution engine, so identical queries report identical virtual
 	// times regardless of which replica serves them.
 	Machine machine.Config
 	// Monitor, when non-nil, receives engine-level performance events
-	// (EvQuerySubmit, EvBatchDispatch, EvQueryDone, EvQueryCancel).
+	// (EvQuerySubmit, EvBatchDispatch, EvQueryDone, EvQueryCancel,
+	// EvWorkSteal, EvQueryShed, EvResultHit).
 	Monitor *perfmon.Collector
 }
 
@@ -72,7 +100,7 @@ type Option func(*Config)
 // WithReplicas sets the machine-pool size.
 func WithReplicas(n int) Option { return func(c *Config) { c.Replicas = n } }
 
-// WithMaxBatch bounds the per-dispatch batch size.
+// WithMaxBatch bounds the per-round batch size.
 func WithMaxBatch(n int) Option { return func(c *Config) { c.MaxBatch = n } }
 
 // WithQueueCap sets the submit-queue capacity.
@@ -80,6 +108,22 @@ func WithQueueCap(n int) Option { return func(c *Config) { c.QueueCap = n } }
 
 // WithCacheCap sets the compile-cache entry bound.
 func WithCacheCap(n int) Option { return func(c *Config) { c.CacheCap = n } }
+
+// WithResultCache sets the query-result-cache entry bound; n <= 0
+// disables result caching and singleflight deduplication.
+func WithResultCache(n int) Option {
+	return func(c *Config) {
+		if n <= 0 {
+			c.ResultCacheCap = -1
+		} else {
+			c.ResultCacheCap = n
+		}
+	}
+}
+
+// WithMaxInFlight caps admitted-but-unfinished queries; 0 removes the
+// ceiling.
+func WithMaxInFlight(n int) Option { return func(c *Config) { c.MaxInFlight = n } }
 
 // WithMachineConfig replaces the replica configuration wholesale.
 func WithMachineConfig(mc machine.Config) Option {
@@ -112,6 +156,7 @@ func defaultMachineConfig() machine.Config {
 type request struct {
 	ctx      context.Context
 	prog     *isa.Program
+	hash     uint64
 	resp     chan response
 	enqueued time.Time
 }
@@ -125,28 +170,37 @@ type response struct {
 // replicas sharing one knowledge base. Safe for use from any number of
 // goroutines.
 type Engine struct {
-	cfg Config
-	kb  *semnet.KB
-	asm *isa.Assembler
-	mon *perfmon.Collector
+	cfg   Config
+	kb    *semnet.KB
+	kbGen uint64 // KB generation at bring-up; result-cache key half
+	asm   *isa.Assembler
+	mon   *perfmon.Collector
 
-	queue chan *request
-	idle  chan *machine.Machine
-	rank  map[*machine.Machine]int // replica index, for monitor events
+	machines []*machine.Machine // index = replica rank = shard owner
+	shards   []*shard
+	notify   chan struct{} // wake tokens for parked replicas
+
+	queued   atomic.Int64 // requests resident in shards
+	inflight atomic.Int64 // admitted and not yet answered
+	busy     atomic.Int64 // replicas currently serving a batch
 
 	done      chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 
-	cache *lruCache // assembly-source hash -> compiled *isa.Program
-	valid sync.Map  // program content hash -> struct{}: validated
+	cache   *lruCache[uint64, *isa.Program] // assembly-source hash -> program
+	valid   sync.Map                        // program content hash -> struct{}: validated
+	results *resultCache                    // nil when disabled
+	flights *flightGroup                    // nil when results is nil
 
 	st stats
 }
 
 // New builds an engine over kb: the knowledge base is preprocessed,
-// partitioned, and downloaded once, then cloned to every pool replica.
-// kb must not be mutated for the engine's lifetime.
+// partitioned, and downloaded once into a prototype machine, which is
+// then cloned to the remaining pool replicas concurrently (bounded by
+// GOMAXPROCS) over shared-immutable topology tables. kb must not be
+// mutated for the engine's lifetime.
 func New(kb *semnet.KB, opts ...Option) (*Engine, error) {
 	cfg := Config{}
 	for _, o := range opts {
@@ -164,6 +218,9 @@ func New(kb *semnet.KB, opts ...Option) (*Engine, error) {
 	if cfg.CacheCap <= 0 {
 		cfg.CacheCap = 128
 	}
+	if cfg.ResultCacheCap == 0 {
+		cfg.ResultCacheCap = 1024
+	}
 	if cfg.Machine.Clusters == 0 {
 		cfg.Machine = defaultMachineConfig()
 	}
@@ -179,34 +236,87 @@ func New(kb *semnet.KB, opts ...Option) (*Engine, error) {
 	if err := proto.LoadKB(kb); err != nil {
 		return nil, err
 	}
+	machines, err := clonePool(proto, cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
 
 	e := &Engine{
-		cfg:   cfg,
-		kb:    kb,
-		asm:   isa.NewAssembler(kb),
-		mon:   cfg.Monitor,
-		queue: make(chan *request, cfg.QueueCap),
-		idle:  make(chan *machine.Machine, cfg.Replicas),
-		rank:  make(map[*machine.Machine]int, cfg.Replicas),
-		done:  make(chan struct{}),
-		cache: newLRUCache(cfg.CacheCap),
+		cfg:      cfg,
+		kb:       kb,
+		kbGen:    kb.Generation(),
+		asm:      isa.NewAssembler(kb),
+		mon:      cfg.Monitor,
+		machines: machines,
+		shards:   make([]*shard, cfg.Replicas),
+		notify:   make(chan struct{}, cfg.Replicas),
+		done:     make(chan struct{}),
+		cache:    newLRUCache[uint64, *isa.Program](cfg.CacheCap),
+	}
+	if cfg.ResultCacheCap > 0 && cfg.Machine.Deterministic {
+		e.results = newResultCache(cfg.ResultCacheCap)
+		e.flights = newFlightGroup()
+	}
+	for i := range e.shards {
+		e.shards[i] = &shard{}
 	}
 	e.st.replicas = cfg.Replicas
 
-	e.rank[proto] = 0
-	e.idle <- proto
-	for i := 1; i < cfg.Replicas; i++ {
-		r, err := proto.Clone()
-		if err != nil {
-			return nil, err
-		}
-		e.rank[r] = i
-		e.idle <- r
+	e.wg.Add(cfg.Replicas)
+	for i := 0; i < cfg.Replicas; i++ {
+		go e.serve(i)
 	}
-
-	e.wg.Add(1)
-	go e.dispatch()
 	return e, nil
+}
+
+// clonePool stamps out the replica pool from the loaded prototype. The
+// prototype itself serves as replica 0; clones are brought up
+// concurrently, bounded by GOMAXPROCS, since a shared-topology clone is
+// dominated by marker-state allocation, which parallelizes cleanly.
+func clonePool(proto *machine.Machine, replicas int) ([]*machine.Machine, error) {
+	machines := make([]*machine.Machine, replicas)
+	machines[0] = proto
+	if replicas == 1 {
+		return machines, nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > replicas-1 {
+		workers = replicas - 1
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	sem := make(chan struct{}, workers)
+	for i := 1; i < replicas; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			r, err := proto.Clone()
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			machines[i] = r
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		for _, m := range machines {
+			if m != nil {
+				m.Close()
+			}
+		}
+		return nil, firstErr
+	}
+	return machines, nil
 }
 
 // KB returns the engine's knowledge base (for name resolution).
@@ -214,8 +324,13 @@ func (e *Engine) KB() *semnet.KB { return e.kb }
 
 // Submit enqueues a read-only program and blocks until its result, the
 // context's cancellation/deadline, or engine shutdown. Each query runs
-// on an idle pool replica with fresh marker state; results are identical
-// to a sequential Machine.Run of the same program on a fresh machine.
+// on a pool replica with fresh marker state; results are identical to a
+// sequential Machine.Run of the same program on a fresh machine. With
+// result caching active (the default on deterministic pools), a repeat
+// of a completed query returns the memoized Result — bit-identical,
+// virtual time included — and concurrent identical submissions collapse
+// onto one execution. The returned Result is shared and must be treated
+// as immutable.
 func (e *Engine) Submit(ctx context.Context, prog *isa.Program) (*machine.Result, error) {
 	if prog.Mutating() {
 		e.st.reject()
@@ -229,18 +344,73 @@ func (e *Engine) Submit(ctx context.Context, prog *isa.Program) (*machine.Result
 		}
 		e.valid.Store(h, struct{}{})
 	}
+	if e.results == nil {
+		return e.execute(ctx, prog, h)
+	}
 
-	req := &request{ctx: ctx, prog: prog, resp: make(chan response, 1), enqueued: time.Now()}
+	gen := e.kb.Generation()
+	if res, ok := e.results.get(h, gen); ok {
+		e.st.resultHit()
+		e.emit(-1, perfmon.EvResultHit, uint32(res.Time), res.Time)
+		return res, nil
+	}
+	e.st.resultMiss()
+	for {
+		f, leader := e.flights.join(h)
+		if leader {
+			res, err := e.execute(ctx, prog, h)
+			if err == nil {
+				e.results.put(h, gen, res)
+			}
+			e.flights.finish(h, f, res, err)
+			return res, err
+		}
+		e.st.dedup()
+		select {
+		case <-f.done:
+			if f.err != nil && retryable(f.err) {
+				// The leader's own context expired; this caller's query
+				// is still live — run the flight again.
+				continue
+			}
+			return f.res, f.err
+		case <-ctx.Done():
+			e.st.cancel()
+			return nil, ctx.Err()
+		case <-e.done:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// execute admits a validated query, enqueues it on its hash shard, and
+// waits for the serving replica's response.
+func (e *Engine) execute(ctx context.Context, prog *isa.Program, h uint64) (*machine.Result, error) {
 	select {
-	case e.queue <- req:
-	case <-ctx.Done():
-		e.st.cancel()
-		return nil, ctx.Err()
 	case <-e.done:
 		return nil, ErrClosed
+	default:
 	}
+	if n := e.queued.Add(1); int(n) > e.cfg.QueueCap {
+		e.queued.Add(-1)
+		return nil, e.shed()
+	}
+	if e.cfg.MaxInFlight > 0 {
+		if n := e.inflight.Add(1); int(n) > e.cfg.MaxInFlight {
+			e.inflight.Add(-1)
+			e.queued.Add(-1)
+			return nil, e.shed()
+		}
+	} else {
+		e.inflight.Add(1)
+	}
+	defer e.inflight.Add(-1)
+
+	req := &request{ctx: ctx, prog: prog, hash: h, resp: make(chan response, 1), enqueued: time.Now()}
+	depth := e.shards[int(h%uint64(len(e.shards)))].push(req)
 	e.st.submit()
-	e.emit(-1, perfmon.EvQuerySubmit, uint32(len(e.queue)), 0)
+	e.emit(-1, perfmon.EvQuerySubmit, uint32(depth), 0)
+	e.wake()
 
 	select {
 	case r := <-req.resp:
@@ -250,6 +420,24 @@ func (e *Engine) Submit(ctx context.Context, prog *isa.Program) (*machine.Result
 		return nil, ctx.Err()
 	case <-e.done:
 		return nil, ErrClosed
+	}
+}
+
+// shed records an admission rejection and returns ErrOverloaded.
+func (e *Engine) shed() error {
+	e.st.shed()
+	e.emit(-1, perfmon.EvQueryShed, uint32(e.inflight.Load()), 0)
+	return ErrOverloaded
+}
+
+// wake hands a parked replica a token. The channel holds one token per
+// replica, so a dropped send means every replica already has a pending
+// wakeup; each woken replica rescans all shards (own queue, then steal)
+// before parking again, so no queued request can be stranded.
+func (e *Engine) wake() {
+	select {
+	case e.notify <- struct{}{}:
+	default:
 	}
 }
 
@@ -287,55 +475,50 @@ func (e *Engine) Compile(src string) (*isa.Program, error) {
 	return prog, nil
 }
 
-// dispatch is the engine's single dispatcher: it claims an idle replica
-// for the oldest queued query, greedily drains up to MaxBatch-1 more
-// pending queries into the same dispatch round, and hands the batch to a
-// worker goroutine. Batching amortizes replica hand-off and keeps every
-// replica busy under load while an idle engine still serves a lone query
-// immediately (batch of one).
-func (e *Engine) dispatch() {
+// serve is replica rank's owner loop: drain the replica's own shard in
+// MaxBatch rounds; when it is empty, steal a batch from the deepest
+// other shard; when every shard is empty, park until a submission's
+// wake token (or shutdown). There is no central dispatcher — under load
+// each replica cycles on its own queue's lock, and the work-stealing
+// scan only runs on the idle path.
+func (e *Engine) serve(rank int) {
 	defer e.wg.Done()
+	m := e.machines[rank]
+	own := e.shards[rank]
+	batch := make([]*request, 0, e.cfg.MaxBatch)
 	for {
-		var first *request
-		select {
-		case <-e.done:
-			return
-		case first = <-e.queue:
-		}
-		var m *machine.Machine
-		select {
-		case <-e.done:
-			first.resp <- response{err: ErrClosed}
-			return
-		case m = <-e.idle:
-		}
-		batch := []*request{first}
-		for len(batch) < e.cfg.MaxBatch {
-			select {
-			case r := <-e.queue:
-				batch = append(batch, r)
-			default:
-				goto full
+		batch = own.popN(e.cfg.MaxBatch, batch[:0])
+		if len(batch) == 0 {
+			batch = e.steal(rank, batch)
+			if len(batch) > 0 {
+				e.st.steal(len(batch))
+				e.emit(rank, perfmon.EvWorkSteal, uint32(len(batch)), 0)
 			}
 		}
-	full:
+		if len(batch) == 0 {
+			select {
+			case <-e.notify:
+				continue
+			case <-e.done:
+				return
+			}
+		}
+		e.queued.Add(-int64(len(batch)))
 		e.st.batch(len(batch))
-		e.emit(e.rank[m], perfmon.EvBatchDispatch, uint32(len(batch)), 0)
-		e.wg.Add(1)
-		go e.runBatch(m, batch)
+		e.emit(rank, perfmon.EvBatchDispatch, uint32(len(batch)), 0)
+		e.busy.Add(1)
+		e.runBatch(rank, m, batch)
+		e.busy.Add(-1)
 	}
 }
 
-// runBatch serves one dispatch round on one replica and returns the
-// replica to the idle pool.
-func (e *Engine) runBatch(m *machine.Machine, batch []*request) {
-	defer e.wg.Done()
-	rank := e.rank[m]
+// runBatch serves one round of queries back-to-back on one replica.
+func (e *Engine) runBatch(rank int, m *machine.Machine, batch []*request) {
 	for _, req := range batch {
 		e.st.queueWait(time.Since(req.enqueued))
 		if err := req.ctx.Err(); err != nil {
 			e.st.cancel()
-			e.emit(rank, perfmon.EvQueryCancel, uint32(len(e.queue)), 0)
+			e.emit(rank, perfmon.EvQueryCancel, uint32(e.queued.Load()), 0)
 			req.resp <- response{err: err}
 			continue
 		}
@@ -347,11 +530,10 @@ func (e *Engine) runBatch(m *machine.Machine, batch []*request) {
 		case err == nil:
 			e.emit(rank, perfmon.EvQueryDone, uint32(res.Time), res.Time)
 		case req.ctx.Err() != nil:
-			e.emit(rank, perfmon.EvQueryCancel, uint32(len(e.queue)), 0)
+			e.emit(rank, perfmon.EvQueryCancel, uint32(e.queued.Load()), 0)
 		}
 		req.resp <- response{res: res, err: err}
 	}
-	e.idle <- m
 }
 
 // emit forwards an engine-level event to the monitor, if attached, and
@@ -364,25 +546,33 @@ func (e *Engine) emit(pe int, code perfmon.EventCode, status uint32, now timing.
 	}
 }
 
-// Close stops the dispatcher, waits for in-flight batches, and releases
-// the pool, including each replica's persistent propagation workers.
-// Queued but undispatched queries fail with ErrClosed.
+// Close stops the serving replicas, waits for in-flight batches, fails
+// queued but unserved queries with ErrClosed, and releases the pool,
+// including each replica's persistent propagation workers.
 func (e *Engine) Close() {
 	e.closeOnce.Do(func() { close(e.done) })
 	e.wg.Wait()
-	// Every replica is back in the idle channel once the dispatcher and
-	// all batch workers have exited; retire their host resources.
-	for {
-		select {
-		case m := <-e.idle:
-			m.Close()
-		default:
-			return
+	for _, s := range e.shards {
+		for _, req := range s.popN(int(^uint(0)>>1), nil) {
+			e.queued.Add(-1)
+			req.resp <- response{err: ErrClosed}
 		}
+	}
+	for _, m := range e.machines {
+		m.Close()
 	}
 }
 
 // Stats returns a snapshot of the engine's serving counters.
 func (e *Engine) Stats() Stats {
-	return e.st.snapshot(len(e.queue), len(e.idle))
+	depth := 0
+	for _, s := range e.shards {
+		depth += s.depth()
+	}
+	idle := e.cfg.Replicas - int(e.busy.Load())
+	resultEntries := 0
+	if e.results != nil {
+		resultEntries = e.results.len()
+	}
+	return e.st.snapshot(depth, idle, int(e.inflight.Load()), resultEntries)
 }

@@ -141,8 +141,17 @@ func TestConcurrentSubmitMatchesSequential(t *testing.T) {
 	}
 
 	st := e.Stats()
-	if st.Completed != submitters*perSubmitter {
-		t.Errorf("completed = %d, want %d", st.Completed, submitters*perSubmitter)
+	// Each unique source executes exactly once; every repeat submission
+	// is served by the result cache or collapsed onto the in-flight
+	// execution (singleflight).
+	if st.Completed != uint64(len(sources)) {
+		t.Errorf("completed = %d, want %d (one execution per unique source)", st.Completed, len(sources))
+	}
+	if got := st.Completed + st.ResultHits + st.DedupedQueries; got != submitters*perSubmitter {
+		t.Errorf("completed+hits+deduped = %d, want %d", got, submitters*perSubmitter)
+	}
+	if st.ResultHits+st.DedupedQueries == 0 {
+		t.Error("no submission was served by the result cache or singleflight")
 	}
 	if st.Batches == 0 {
 		t.Error("no batches dispatched")
@@ -155,6 +164,62 @@ func TestConcurrentSubmitMatchesSequential(t *testing.T) {
 	}
 	if st.Run.Count != st.Completed {
 		t.Errorf("run latency count %d != completed %d", st.Run.Count, st.Completed)
+	}
+}
+
+// TestConcurrentSubmitUncached repeats the sequential-equivalence drive
+// with result caching disabled: every submission must execute on a
+// replica and still match the sequential reference exactly.
+func TestConcurrentSubmitUncached(t *testing.T) {
+	g := fig15KB(t, 1600)
+	e, err := New(g.KB, WithReplicas(4), WithMaxBatch(4), WithResultCache(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	sources := make([]string, 0, 8)
+	for _, c := range queryConcepts(g, 8) {
+		sources = append(sources, inheritanceQuery(g, c))
+	}
+	want := sequentialReference(t, e, sources)
+
+	const submitters = 6
+	const perSubmitter = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, submitters*perSubmitter)
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perSubmitter; i++ {
+				src := sources[(w*perSubmitter+i)%len(sources)]
+				res, err := e.SubmitSource(context.Background(), src)
+				if err != nil {
+					errs <- fmt.Errorf("submitter %d: %v", w, err)
+					return
+				}
+				exp := want[src]
+				if !sameNames(res.Names(0), exp.names) || res.Time.String() != exp.time {
+					errs <- fmt.Errorf("submitter %d: diverged from sequential", w)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := e.Stats()
+	if st.Completed != submitters*perSubmitter {
+		t.Errorf("completed = %d, want %d with caching disabled", st.Completed, submitters*perSubmitter)
+	}
+	if st.ResultHits != 0 || st.DedupedQueries != 0 {
+		t.Errorf("result cache active despite WithResultCache(0): hits=%d deduped=%d",
+			st.ResultHits, st.DedupedQueries)
 	}
 }
 

@@ -107,6 +107,11 @@ func (e *Engine) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	res, err := e.Submit(ctx, prog)
 	if err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			// Shed by admission control: tell well-behaved clients when
+			// to come back instead of letting them hammer a full queue.
+			w.Header().Set("Retry-After", "1")
+		}
 		writeError(w, statusFor(err), err)
 		return
 	}
@@ -176,7 +181,7 @@ func statusFor(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		return 499 // client closed request
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrOverloaded):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError

@@ -1,0 +1,420 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// heavyQuery is a deliberately long-running read-only query: many
+// propagate rounds so a single execution spans a measurable window.
+func heavyQuery(concept string, rounds int) string {
+	src := "search-node node=" + concept + " marker=c1 value=0\n"
+	for i := 0; i < rounds; i++ {
+		src += "propagate m1=c1 m2=c2 rule=path(is-a) fn=add\n"
+	}
+	src += "collect-node marker=c2\n"
+	return src
+}
+
+// TestResultCacheBitIdentical is the tentpole acceptance check: a
+// cache-hit query must return a machine.Result bit-identical — virtual
+// time included — to uncached execution of the same program.
+func TestResultCacheBitIdentical(t *testing.T) {
+	g := fig15KB(t, 1600)
+	cached, err := New(g.KB, WithReplicas(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cached.Close()
+	uncached, err := New(g.KB, WithReplicas(2), WithResultCache(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer uncached.Close()
+
+	src := inheritanceQuery(g, queryConcepts(g, 1)[0])
+	first, err := cached.SubmitSource(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, err := cached.SubmitSource(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit != first {
+		t.Error("repeat submission did not return the memoized Result object")
+	}
+	if st := cached.Stats(); st.ResultHits != 1 || st.ResultMisses != 1 {
+		t.Errorf("result cache hits/misses = %d/%d, want 1/1", st.ResultHits, st.ResultMisses)
+	}
+
+	fresh, err := uncached.SubmitSource(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.Time != fresh.Time {
+		t.Errorf("cached virtual time %v != uncached %v", hit.Time, fresh.Time)
+	}
+	if !reflect.DeepEqual(hit.Collections, fresh.Collections) {
+		t.Error("cached collections differ from uncached execution")
+	}
+
+	// And both must equal a sequential single-machine run.
+	want := sequentialReference(t, uncached, []string{src})
+	if hit.Time.String() != want[src].time || !sameNames(hit.Names(0), want[src].names) {
+		t.Error("cached result diverged from sequential reference")
+	}
+}
+
+// TestResultCacheGenerationKey pins the invalidation contract: a result
+// memoized under one KB generation can never satisfy a lookup under
+// another.
+func TestResultCacheGenerationKey(t *testing.T) {
+	c := newResultCache(4)
+	c.put(42, 1, nil)
+	if _, ok := c.get(42, 1); !ok {
+		t.Error("same-generation lookup missed")
+	}
+	if _, ok := c.get(42, 2); ok {
+		t.Error("lookup under a newer KB generation hit a stale entry")
+	}
+	if _, ok := c.get(7, 1); ok {
+		t.Error("lookup under a different program hash hit")
+	}
+}
+
+// TestSingleflightCollapse launches identical concurrent submissions at
+// a single-replica engine: they must collapse onto few executions, and
+// every caller must receive the identical result.
+func TestSingleflightCollapse(t *testing.T) {
+	g := fig15KB(t, 800)
+	e, err := New(g.KB, WithReplicas(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	src := heavyQuery(queryConcepts(g, 1)[0], 60)
+	const callers = 8
+	var (
+		start   sync.WaitGroup
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		results []string
+	)
+	start.Add(1)
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start.Wait()
+			res, err := e.SubmitSource(context.Background(), src)
+			if err != nil {
+				errs <- err
+				return
+			}
+			mu.Lock()
+			results = append(results, res.Time.String()+"/"+fmt.Sprint(res.Names(0)))
+			mu.Unlock()
+		}()
+	}
+	start.Done()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	for _, r := range results[1:] {
+		if r != results[0] {
+			t.Fatalf("collapsed submissions disagreed: %q vs %q", r, results[0])
+		}
+	}
+	st := e.Stats()
+	if got := st.Completed + st.ResultHits + st.DedupedQueries; got != callers {
+		t.Errorf("completed+hits+deduped = %d, want %d", got, callers)
+	}
+	if st.Completed == callers {
+		t.Error("no submission collapsed: every caller executed")
+	}
+	if st.ResultHits+st.DedupedQueries == 0 {
+		t.Error("neither singleflight nor result cache served any caller")
+	}
+}
+
+// TestSingleflightLeaderCancelDoesNotPoison cancels the leader of an
+// in-flight collapse; the follower must re-run the query under its own
+// live context rather than inherit the leader's context error.
+func TestSingleflightLeaderCancelDoesNotPoison(t *testing.T) {
+	g := fig15KB(t, 800)
+	e, err := New(g.KB, WithReplicas(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	src := heavyQuery(queryConcepts(g, 1)[0], 200)
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := e.SubmitSource(leaderCtx, src)
+		leaderDone <- err
+	}()
+	time.Sleep(2 * time.Millisecond) // let the leader take flight
+
+	followerDone := make(chan error, 1)
+	go func() {
+		_, err := e.SubmitSource(context.Background(), src)
+		followerDone <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancelLeader()
+
+	if err := <-leaderDone; err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader returned %v, want nil or context.Canceled", err)
+	}
+	if err := <-followerDone; err != nil {
+		t.Fatalf("follower with a live context returned %v, want success", err)
+	}
+}
+
+// TestOverloadShed exercises admission control: both the in-flight
+// ceiling and the queue capacity must fail fast with ErrOverloaded, and
+// the engine must keep serving once load drains. Programs are compiled
+// up front so every timing-sensitive submission is microsecond-scale
+// against a replica held busy for ~100ms.
+func TestOverloadShed(t *testing.T) {
+	g := fig15KB(t, 3200)
+
+	waitFor := func(t *testing.T, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatal("condition not reached in time")
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	concepts := queryConcepts(g, 4)
+
+	t.Run("max-inflight", func(t *testing.T) {
+		e, err := New(g.KB, WithReplicas(1), WithMaxInFlight(1), WithResultCache(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+
+		heavy, err := e.Compile(heavyQuery(concepts[0], 10000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := e.Compile(inheritanceQuery(g, concepts[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_, _ = e.Submit(ctx, heavy)
+		}()
+		waitFor(t, func() bool { return e.Stats().InFlight == 1 })
+
+		if _, err := e.Submit(context.Background(), fast); !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("submit beyond MaxInFlight returned %v, want ErrOverloaded", err)
+		}
+		if st := e.Stats(); st.Overloaded == 0 {
+			t.Error("shed submission not counted in Stats.Overloaded")
+		}
+		cancel()
+		<-done
+		waitFor(t, func() bool { return e.Stats().InFlight == 0 })
+		if _, err := e.Submit(context.Background(), fast); err != nil {
+			t.Fatalf("engine unusable after shedding: %v", err)
+		}
+	})
+
+	t.Run("queue-cap", func(t *testing.T) {
+		e, err := New(g.KB, WithReplicas(1), WithMaxBatch(1), WithQueueCap(1), WithResultCache(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+
+		// Result caching is off, so two submissions of the identical heavy
+		// program both execute: the first occupies the replica, the second
+		// fills the one-slot queue.
+		heavy, err := e.Compile(heavyQuery(concepts[0], 10000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := e.Compile(inheritanceQuery(g, concepts[2]))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_, _ = e.Submit(ctx, heavy)
+			}()
+			if i == 0 {
+				waitFor(t, func() bool {
+					st := e.Stats()
+					return st.InFlight == 1 && st.QueueDepth == 0
+				})
+			}
+		}
+		waitFor(t, func() bool { return e.Stats().QueueDepth == 1 })
+
+		if _, err := e.Submit(context.Background(), fast); !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("submit beyond QueueCap returned %v, want ErrOverloaded", err)
+		}
+		cancel()
+		wg.Wait()
+	})
+}
+
+// TestWorkStealing funnels every query onto one replica's shard and
+// requires the other replica to steal from it.
+func TestWorkStealing(t *testing.T) {
+	g := fig15KB(t, 800)
+	concepts := queryConcepts(g, 24)
+
+	for attempt := 0; ; attempt++ {
+		e, err := New(g.KB, WithReplicas(2), WithMaxBatch(1), WithResultCache(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Select programs that all hash onto shard 0, so replica 1 can
+		// only ever run a query by stealing it.
+		srcs := make([]string, 0, 12)
+		for _, c := range concepts {
+			src := heavyQuery(c, 20)
+			prog, err := e.Compile(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prog.Hash()%2 == 0 {
+				srcs = append(srcs, src)
+			}
+		}
+		if len(srcs) < 4 {
+			t.Fatalf("only %d/%d candidate programs landed on shard 0", len(srcs), len(concepts))
+		}
+
+		var wg sync.WaitGroup
+		errs := make(chan error, len(srcs))
+		for _, src := range srcs {
+			wg.Add(1)
+			go func(src string) {
+				defer wg.Done()
+				if _, err := e.SubmitSource(context.Background(), src); err != nil {
+					errs <- err
+				}
+			}(src)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+
+		st := e.Stats()
+		e.Close()
+		if st.Steals > 0 {
+			if st.StolenQueries == 0 {
+				t.Error("steals recorded but no stolen queries counted")
+			}
+			return
+		}
+		// Scheduling can let replica 0 drain everything before replica 1
+		// wakes; retry a bounded number of times before declaring failure.
+		if attempt == 4 {
+			t.Fatal("no steal observed in 5 attempts despite single-shard load")
+		}
+	}
+}
+
+// TestCompileLRUStorm hammers a 2-entry compile cache from concurrent
+// submitters over 4 distinct sources, so evictions race lookups; run
+// under -race this is the satellite coverage for the compile LRU, and
+// the counters must stay consistent.
+func TestCompileLRUStorm(t *testing.T) {
+	g := fig15KB(t, 400)
+	e, err := New(g.KB, WithReplicas(1), WithCacheCap(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	concepts := queryConcepts(g, 4)
+	srcs := make([]string, 4)
+	wantHash := make([]uint64, 4)
+	for i, c := range concepts {
+		srcs[i] = inheritanceQuery(g, c)
+		prog, err := e.Compile(srcs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantHash[i] = prog.Hash()
+	}
+
+	const workers = 8
+	const iters = 100
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Two back-to-back compiles of the same source: the second
+				// usually hits, unless a concurrent eviction races it —
+				// exactly the interleaving this storm is after.
+				k := (w + i) % len(srcs)
+				for rep := 0; rep < 2; rep++ {
+					prog, err := e.Compile(srcs[k])
+					if err != nil {
+						errs <- err
+						return
+					}
+					if prog.Hash() != wantHash[k] {
+						errs <- fmt.Errorf("source %d compiled to hash %x, want %x", k, prog.Hash(), wantHash[k])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := e.Stats()
+	total := uint64(len(srcs) + workers*iters*2)
+	if st.CompileHits+st.CompileMisses != total {
+		t.Errorf("hits+misses = %d, want %d", st.CompileHits+st.CompileMisses, total)
+	}
+	if st.CompileHits == 0 || st.CompileMisses < uint64(len(srcs)) {
+		t.Errorf("implausible counters under storm: hits=%d misses=%d", st.CompileHits, st.CompileMisses)
+	}
+	if n := e.cache.len(); n > 2 {
+		t.Errorf("cache resident entries = %d, want <= 2", n)
+	}
+}

@@ -68,21 +68,38 @@ type Stats struct {
 	Replicas     int `json:"replicas"`
 	IdleReplicas int `json:"idle_replicas"`
 	QueueDepth   int `json:"queue_depth"`
+	InFlight     int `json:"in_flight"`
 
 	Submitted uint64 `json:"submitted"`
 	Completed uint64 `json:"completed"`
 	Failed    uint64 `json:"failed"`
 	Canceled  uint64 `json:"canceled"`
 	Rejected  uint64 `json:"rejected"`
+	// Overloaded counts submissions shed by admission control
+	// (ErrOverloaded): queue full or in-flight ceiling reached.
+	Overloaded uint64 `json:"overloaded"`
 
-	// Batches counts dispatch rounds; BatchedQueries the queries they
+	// Batches counts serving rounds; BatchedQueries the queries they
 	// carried. MaxBatchSize is the largest single round observed.
+	// Steals counts rounds served off another replica's shard;
+	// StolenQueries the queries those rounds carried.
 	Batches        uint64 `json:"batches"`
 	BatchedQueries uint64 `json:"batched_queries"`
 	MaxBatchSize   int    `json:"max_batch_size"`
+	Steals         uint64 `json:"steals"`
+	StolenQueries  uint64 `json:"stolen_queries"`
 
 	CompileHits   uint64 `json:"compile_cache_hits"`
 	CompileMisses uint64 `json:"compile_cache_misses"`
+
+	// Result-cache counters: hits served without touching a replica,
+	// misses that went to execution, queries collapsed onto an
+	// identical in-flight execution (singleflight), and the cache's
+	// resident entry count.
+	ResultHits      uint64 `json:"result_cache_hits"`
+	ResultMisses    uint64 `json:"result_cache_misses"`
+	DedupedQueries  uint64 `json:"deduped_queries"`
+	ResultCacheSize int    `json:"result_cache_size"`
 
 	// Per-stage wall-clock latency: assembly+rule compilation, submit
 	// queue residency, and execution (including collection).
@@ -103,9 +120,12 @@ type stats struct {
 	replicas int
 
 	submitted, completed, failed, canceled, rejected uint64
+	overloaded                                       uint64
 	batches, batchedQueries                          uint64
+	steals, stolenQueries                            uint64
 	maxBatch                                         int
 	cacheHits, cacheMisses                           uint64
+	resultHits, resultMisses, deduped                uint64
 
 	compileH, queueH, runH hist
 
@@ -140,9 +160,40 @@ func (s *stats) batch(size int) {
 	s.mu.Unlock()
 }
 
+func (s *stats) shed() {
+	s.mu.Lock()
+	s.overloaded++
+	s.mu.Unlock()
+}
+
+func (s *stats) steal(size int) {
+	s.mu.Lock()
+	s.steals++
+	s.stolenQueries += uint64(size)
+	s.mu.Unlock()
+}
+
 func (s *stats) cacheHit() {
 	s.mu.Lock()
 	s.cacheHits++
+	s.mu.Unlock()
+}
+
+func (s *stats) resultHit() {
+	s.mu.Lock()
+	s.resultHits++
+	s.mu.Unlock()
+}
+
+func (s *stats) resultMiss() {
+	s.mu.Lock()
+	s.resultMisses++
+	s.mu.Unlock()
+}
+
+func (s *stats) dedup() {
+	s.mu.Lock()
+	s.deduped++
 	s.mu.Unlock()
 }
 
@@ -179,26 +230,34 @@ func (s *stats) event(code perfmon.EventCode) {
 	s.mu.Unlock()
 }
 
-func (s *stats) snapshot(queueDepth, idle int) Stats {
+func (s *stats) snapshot(queueDepth, idle, inFlight, resultEntries int) Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := Stats{
-		Replicas:       s.replicas,
-		IdleReplicas:   idle,
-		QueueDepth:     queueDepth,
-		Submitted:      s.submitted,
-		Completed:      s.completed,
-		Failed:         s.failed,
-		Canceled:       s.canceled,
-		Rejected:       s.rejected,
-		Batches:        s.batches,
-		BatchedQueries: s.batchedQueries,
-		MaxBatchSize:   s.maxBatch,
-		CompileHits:    s.cacheHits,
-		CompileMisses:  s.cacheMisses,
-		Compile:        s.compileH.snapshot(),
-		QueueWait:      s.queueH.snapshot(),
-		Run:            s.runH.snapshot(),
+		Replicas:        s.replicas,
+		IdleReplicas:    idle,
+		QueueDepth:      queueDepth,
+		InFlight:        inFlight,
+		Submitted:       s.submitted,
+		Completed:       s.completed,
+		Failed:          s.failed,
+		Canceled:        s.canceled,
+		Rejected:        s.rejected,
+		Overloaded:      s.overloaded,
+		Batches:         s.batches,
+		BatchedQueries:  s.batchedQueries,
+		MaxBatchSize:    s.maxBatch,
+		Steals:          s.steals,
+		StolenQueries:   s.stolenQueries,
+		CompileHits:     s.cacheHits,
+		CompileMisses:   s.cacheMisses,
+		ResultHits:      s.resultHits,
+		ResultMisses:    s.resultMisses,
+		DedupedQueries:  s.deduped,
+		ResultCacheSize: resultEntries,
+		Compile:         s.compileH.snapshot(),
+		QueueWait:       s.queueH.snapshot(),
+		Run:             s.runH.snapshot(),
 	}
 	if len(s.events) > 0 {
 		out.Events = make(map[string]uint64, len(s.events))

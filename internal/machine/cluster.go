@@ -56,13 +56,20 @@ const (
 )
 
 func newCluster(id int, cfg *Config) *cluster {
+	return newClusterWithStore(id, cfg, semnet.NewStore(cfg.NodesPerCluster))
+}
+
+// newClusterWithStore builds a cluster around an existing store, so
+// Machine.Clone can install a shared-topology replica store without
+// allocating (and immediately discarding) a fresh empty one.
+func newClusterWithStore(id int, cfg *Config, store *semnet.Store) *cluster {
 	recvCap := cfg.MailboxCap
 	if recvCap > icnRecvBatch {
 		recvCap = icnRecvBatch
 	}
 	c := &cluster{
 		id:      id,
-		store:   semnet.NewStore(cfg.NodesPerCluster),
+		store:   store,
 		muFree:  make([]timing.Time, cfg.musOf(id)),
 		recvBuf: make([]interMsg, recvCap),
 	}

@@ -121,11 +121,14 @@ func (m *Machine) Close() {
 }
 
 // Clone returns a replica of the machine sharing the loaded knowledge
-// base, partition assignment, and local index tables, with deep-copied
-// cluster node/relation tables and entirely fresh marker state. The
-// preprocessing and partitioning work of LoadKB is not repeated, so a
-// query-serving pool can stamp out replicas cheaply. The clone runs
-// independently: nothing mutable is shared with the original.
+// base, partition assignment, and local index tables, with entirely
+// fresh marker state. The preprocessing and partitioning work of LoadKB
+// is not repeated, and the cluster node/relation tables are shared
+// copy-on-write (semnet.Store.CloneTopologyShared): cloning allocates
+// only marker state, so a query-serving pool can stamp out replicas in
+// O(markers) per replica. The clone runs independently — the first
+// topology mutation on either side materializes a private table copy,
+// so nothing semantically mutable is shared.
 func (m *Machine) Clone() (*Machine, error) {
 	if m.kb == nil {
 		return nil, ErrNoKB
@@ -142,9 +145,7 @@ func (m *Machine) Clone() (*Machine, error) {
 	}
 	r.clusters = make([]*cluster, len(m.clusters))
 	for i, c := range m.clusters {
-		rc := newCluster(i, &m.cfg)
-		rc.store = c.store.CloneTopology()
-		r.clusters[i] = rc
+		r.clusters[i] = newClusterWithStore(i, &m.cfg, c.store.CloneTopologyShared())
 	}
 	return r, nil
 }

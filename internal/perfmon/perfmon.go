@@ -38,6 +38,9 @@ const (
 	EvBatchDispatch // status: batch size dispatched to one replica
 	EvQueryDone     // status: low 24 bits of the query's virtual time
 	EvQueryCancel   // status: submit-queue depth at cancellation
+	EvWorkSteal     // status: batch size stolen from a loaded shard
+	EvQueryShed     // status: in-flight count at admission rejection
+	EvResultHit     // status: low 24 bits of the cached virtual time
 )
 
 func (e EventCode) String() string {
@@ -68,6 +71,12 @@ func (e EventCode) String() string {
 		return "query-done"
 	case EvQueryCancel:
 		return "query-cancel"
+	case EvWorkSteal:
+		return "work-steal"
+	case EvQueryShed:
+		return "query-shed"
+	case EvResultHit:
+		return "result-hit"
 	default:
 		return "none"
 	}

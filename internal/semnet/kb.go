@@ -35,7 +35,18 @@ type KB struct {
 	nextColor  Color
 
 	numLinks int
+
+	// gen counts structural revisions: every mutation that could change a
+	// query's result (node, link, function, or preprocessor change) bumps
+	// it. Result caches key on it so entries from an older topology can
+	// never satisfy a query against a newer one.
+	gen uint64
 }
+
+// Generation reports the knowledge base's structural revision counter.
+// Two calls returning the same value bracket a span with no topology
+// mutations, so any query result computed inside the span is still valid.
+func (kb *KB) Generation() uint64 { return kb.gen }
 
 // NewKB returns an empty knowledge base.
 func NewKB() *KB {
@@ -63,6 +74,7 @@ func (kb *KB) AddNode(name string, color Color) (NodeID, error) {
 	id := NodeID(len(kb.nodes))
 	kb.nodes = append(kb.nodes, Node{Name: name, Color: color, parent: InvalidNode})
 	kb.byName[name] = id
+	kb.gen++
 	return id, nil
 }
 
@@ -81,6 +93,7 @@ func (kb *KB) SetFn(id NodeID, fn FuncCode) error {
 		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
 	}
 	kb.nodes[id].Fn = fn
+	kb.gen++
 	return nil
 }
 
@@ -93,6 +106,7 @@ func (kb *KB) AddLink(from NodeID, rel RelType, weight float32, to NodeID) error
 	}
 	kb.nodes[from].Out = append(kb.nodes[from].Out, Link{Rel: rel, Weight: weight, To: to})
 	kb.numLinks++
+	kb.gen++
 	return nil
 }
 
@@ -232,6 +246,7 @@ func (kb *KB) Names(ids []NodeID) []string {
 // carries ColorSubnode and inherits the parent's propagation function.
 // Preprocess is idempotent.
 func (kb *KB) Preprocess() {
+	before := len(kb.nodes)
 	for id := 0; id < len(kb.nodes); id++ {
 		// Appended subnodes extend the loop range and are re-checked;
 		// a node whose continuation fanout still exceeds the budget is
@@ -267,6 +282,9 @@ func (kb *KB) Preprocess() {
 		if len(conts) > RelationSlots {
 			id-- // split this node's continuation links again
 		}
+	}
+	if len(kb.nodes) != before {
+		kb.gen++
 	}
 }
 

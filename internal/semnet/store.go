@@ -3,6 +3,7 @@ package semnet
 import (
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 )
 
 // Store holds one cluster's partition of the knowledge base in the three
@@ -36,6 +37,14 @@ type Store struct {
 
 	// Relation table.
 	rel [][]Link
+
+	// sharedTopo marks the node and relation tables as aliased with at
+	// least one other store (CloneTopologyShared). A shared store treats
+	// those tables as immutable: any topology mutator first materializes
+	// a private copy (copy-on-write), so siblings never observe writes.
+	// Atomic because a pool brings replicas up concurrently, and every
+	// clone of one prototype store marks the prototype shared.
+	sharedTopo atomic.Bool
 }
 
 // NewStore returns a store with room for capacity local nodes.
@@ -79,6 +88,54 @@ func (s *Store) CloneTopology() *Store {
 	return c
 }
 
+// CloneTopologyShared is CloneTopology's zero-copy fast path: the clone
+// aliases the source's node and relation tables instead of deep-copying
+// them, allocating only fresh (cleared) marker state. Both stores are
+// marked shared; the first topology mutation on either side materializes
+// a private copy first (copy-on-write), so the stores stay semantically
+// independent while the common read-only case — a query-serving pool
+// stamping out replicas of one downloaded network — costs O(markers)
+// instead of O(nodes + links) per replica.
+func (s *Store) CloneTopologyShared() *Store {
+	s.sharedTopo.Store(true)
+	c := &Store{
+		capacity: s.capacity,
+		n:        s.n,
+		color:    s.color,
+		fn:       s.fn,
+		global:   s.global,
+		rel:      s.rel,
+	}
+	c.sharedTopo.Store(true)
+	words := s.Words()
+	for m := range c.status {
+		c.status[m] = make([]uint32, words)
+	}
+	return c
+}
+
+// own materializes a private copy of the shared node and relation tables
+// before a topology mutation. No-op on an unshared store.
+func (s *Store) own() {
+	if !s.sharedTopo.Load() {
+		return
+	}
+	color := make([]Color, len(s.color), s.capacity)
+	copy(color, s.color)
+	fn := make([]FuncCode, len(s.fn), s.capacity)
+	copy(fn, s.fn)
+	global := make([]NodeID, len(s.global), s.capacity)
+	copy(global, s.global)
+	rel := make([][]Link, len(s.rel), s.capacity)
+	for i, links := range s.rel {
+		if len(links) > 0 {
+			rel[i] = append([]Link(nil), links...)
+		}
+	}
+	s.color, s.fn, s.global, s.rel = color, fn, global, rel
+	s.sharedTopo.Store(false)
+}
+
 // NumNodes reports the number of local nodes stored.
 func (s *Store) NumNodes() int { return s.n }
 
@@ -90,6 +147,7 @@ func (s *Store) AddNode(global NodeID, color Color, fn FuncCode) (int, error) {
 	if s.n >= s.capacity {
 		return 0, fmt.Errorf("%w: cluster store full (%d nodes)", ErrCapacity, s.capacity)
 	}
+	s.own()
 	local := s.n
 	s.n++
 	s.color = append(s.color, color)
@@ -118,6 +176,7 @@ func (s *Store) SetLinks(local int, links []Link) error {
 	if len(links) > RelationSlots {
 		return fmt.Errorf("%w: %d links exceed %d relation slots", ErrCapacity, len(links), RelationSlots)
 	}
+	s.own()
 	s.rel[local] = links
 	return nil
 }

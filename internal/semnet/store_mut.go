@@ -12,6 +12,7 @@ func (s *Store) SetColor(local int, c Color) error {
 	if local < 0 || local >= s.n {
 		return fmt.Errorf("%w: local %d", ErrUnknownNode, local)
 	}
+	s.own()
 	s.color[local] = c
 	return nil
 }
@@ -26,6 +27,7 @@ func (s *Store) AddLink(local int, l Link) error {
 	if len(s.rel[local]) >= RelationSlots {
 		return fmt.Errorf("%w: node %d relation slots full", ErrCapacity, s.global[local])
 	}
+	s.own()
 	s.rel[local] = append(s.rel[local], l)
 	return nil
 }
@@ -36,6 +38,7 @@ func (s *Store) RemoveLink(local int, rel RelType, to NodeID) bool {
 	if local < 0 || local >= s.n {
 		return false
 	}
+	s.own()
 	links := s.rel[local]
 	for i, l := range links {
 		if l.Rel == rel && l.To == to {

@@ -179,6 +179,12 @@ var (
 	WithQueueCap = engine.WithQueueCap
 	// WithCacheCap bounds the engine's compile cache.
 	WithCacheCap = engine.WithCacheCap
+	// WithResultCache bounds the engine's query result cache; n <= 0
+	// disables result caching and singleflight deduplication.
+	WithResultCache = engine.WithResultCache
+	// WithMaxInFlight caps admitted-but-unfinished queries; beyond it
+	// submissions fail fast with ErrEngineOverloaded.
+	WithMaxInFlight = engine.WithMaxInFlight
 	// WithMachineOptions refines the engine's replica configuration.
 	WithMachineOptions = engine.WithMachineOptions
 	// WithEngineMonitor attaches a performance-collection board to the engine.

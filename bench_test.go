@@ -177,54 +177,86 @@ func BenchmarkFig21Overheads(b *testing.B) {
 
 // BenchmarkPropagatePhase is the canonical host-cost benchmark of the
 // marker-propagation hot path (tracked in BENCH_PROPAGATE.json, see
-// docs/PERF.md): one overlap-window flush of α=256 depth-10 chains on
-// the paper's 16-cluster array, measured on both execution engines with
-// allocation reporting. The machine is reused across iterations, so the
-// numbers reflect the steady state a query-serving pool runs in.
+// docs/PERF.md), measured on both execution engines with allocation
+// reporting over two workload shapes:
+//
+//   - chains: one overlap-window flush of α=256 depth-10 chains on the
+//     paper's 16-cluster array — a sparse frontier (one source per
+//     chain), the original tracked workload;
+//   - dense: a MUC-4-style generated knowledge base (kbgen.Generate
+//     with the newswire micro-domain) with SET-MARKER making every node
+//     a propagation source, so the source-scan frontier is fully dense
+//     and the relation-table sweep dominates.
+//
+// The machine is reused across iterations, so the numbers reflect the
+// steady state a query-serving pool runs in.
 func BenchmarkPropagatePhase(b *testing.B) {
 	for _, eng := range []struct {
 		name string
 		det  bool
 	}{{"concurrent", false}, {"lockstep", true}} {
-		b.Run(eng.name, func(b *testing.B) {
-			w := kbgen.Chains(1, 256, 10, 1)
-			w.KB.Preprocess()
-			cfg := machine.PaperConfig()
-			cfg.Deterministic = eng.det
-			m, err := machine.New(cfg)
-			if err != nil {
-				b.Fatal(err)
-			}
-			if err := m.LoadKB(w.KB); err != nil {
-				b.Fatal(err)
-			}
-			defer m.Close()
-			p := isa.NewProgram()
-			p.SearchColor(w.Seeds[0], 0, 0)
-			p.Propagate(0, 1, rules.Path(w.Rel), semnet.FuncAdd)
-			p.Barrier()
+		b.Run(eng.name, func(b *testing.B) { benchPhaseChains(b, eng.det) })
+		b.Run("dense/"+eng.name, func(b *testing.B) { benchPhaseDense(b, eng.det) })
+	}
+}
 
-			var tasks int64
-			run := func() {
-				m.ClearMarkers()
-				res, err := m.Run(p)
-				if err != nil {
-					b.Fatal(err)
-				}
-				tasks = res.Profile.PropSteps
-			}
-			run() // steady state: pools grown, workers started
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				run()
-			}
-			b.StopTimer()
-			if tasks > 0 {
-				b.ReportMetric(float64(tasks), "tasks/phase")
-				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(tasks), "ns/task")
-			}
-		})
+func benchPhaseChains(b *testing.B, det bool) {
+	w := kbgen.Chains(1, 256, 10, 1)
+	w.KB.Preprocess()
+	p := isa.NewProgram()
+	p.SearchColor(w.Seeds[0], 0, 0)
+	p.Propagate(0, 1, rules.Path(w.Rel), semnet.FuncAdd)
+	p.Barrier()
+	benchPhaseRun(b, det, w.KB, p)
+}
+
+func benchPhaseDense(b *testing.B, det bool) {
+	g, err := kbgen.Generate(kbgen.Params{Nodes: 6000, Seed: 42, WithDomain: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.KB.Preprocess()
+	p := isa.NewProgram()
+	p.Set(0, 0) // SET-MARKER: every node becomes a source
+	p.Propagate(0, 1, rules.Path(g.Rel.IsA), semnet.FuncAdd)
+	p.Barrier()
+	benchPhaseRun(b, det, g.KB, p)
+}
+
+func benchPhaseRun(b *testing.B, det bool, kb *semnet.KB, p *isa.Program) {
+	cfg := machine.PaperConfig()
+	cfg.Deterministic = det
+	if need := (kb.NumNodes() + cfg.Clusters - 1) / cfg.Clusters; need > cfg.NodesPerCluster {
+		cfg.NodesPerCluster = need
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.LoadKB(kb); err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+
+	var tasks int64
+	run := func() {
+		m.ClearMarkers()
+		res, err := m.Run(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tasks = res.Profile.PropSteps
+	}
+	run() // steady state: pools grown, workers started
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	b.StopTimer()
+	if tasks > 0 {
+		b.ReportMetric(float64(tasks), "tasks/phase")
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(tasks), "ns/task")
 	}
 }
 

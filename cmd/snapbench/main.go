@@ -12,9 +12,19 @@
 //
 //	go run ./cmd/snapbench -engine-o BENCH_ENGINE.json
 //
+// With -kernel-o it runs the single-store marker-kernel and CSR
+// relation-arena micro-benchmarks (boolean sweeps, SET/CLEAR fills,
+// sparse and dense frontier scans, the packed link-slab walk) and
+// writes BENCH_KERNEL.json:
+//
+//	go run ./cmd/snapbench -kernel-o BENCH_KERNEL.json
+//
 // -fence-hot-allocs N makes the run fail if the steady-state hot
 // serving path (16 replicas, result-cache hits) allocates more than N
 // times per query — the CI regression fence for the serving layer.
+// -fence-kernel-allocs N likewise fails the run if any store kernel
+// allocates more than N times per op (the kernels are expected to stay
+// at exactly zero).
 //
 // See docs/PERF.md for the measurement methodology and the history of
 // what these numbers looked like before the host hot-path overhaul.
@@ -67,7 +77,9 @@ func main() {
 	testing.Init() // registers test.* flags so benchtime is settable
 	out := flag.String("o", "", "write the JSON report to this file (default: stdout)")
 	engineOut := flag.String("engine-o", "", "also run the sharded engine suite and write its JSON report here")
+	kernelOut := flag.String("kernel-o", "", "also run the store-kernel suite and write its JSON report here")
 	fence := flag.Int64("fence-hot-allocs", -1, "fail if the hot serving path at 16 replicas exceeds this allocs/query (-1 disables)")
+	kernelFence := flag.Int64("fence-kernel-allocs", -1, "fail if any store kernel exceeds this allocs/op (-1 disables)")
 	benchtime := flag.Duration("benchtime", 0, "minimum run time per benchmark (0 = testing default of 1s)")
 	flag.Parse()
 	if *benchtime > 0 {
@@ -78,23 +90,47 @@ func main() {
 	}
 
 	// The propagate report keeps its historical default (stdout); it is
-	// skipped only when the run asks solely for the engine report.
-	if *out != "" || *engineOut == "" {
+	// skipped only when the run asks solely for the engine or kernel
+	// report.
+	if *out != "" || (*engineOut == "" && *kernelOut == "") {
 		rep := Report{
 			GoVersion:  runtime.Version(),
 			GOOS:       runtime.GOOS,
 			GOARCH:     runtime.GOARCH,
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
-			Workload:   "alpha=256 depth-10 chains, PaperConfig (16 clusters), PATH/add propagation",
+			Workload:   "chains: alpha=256 depth-10, PaperConfig (16 clusters), PATH/add propagation; dense: 6K-node MUC-4-style KB, SET-MARKER frontier (every node a source)",
 		}
 		for _, eng := range []struct {
 			name string
 			det  bool
 		}{{"propagate_phase/concurrent", false}, {"propagate_phase/lockstep", true}} {
 			rep.Results = append(rep.Results, toResult(eng.name, testing.Benchmark(phaseBench(eng.det))))
+			rep.Results = append(rep.Results, toResult("propagate_phase/dense/"+eng.name[len("propagate_phase/"):], testing.Benchmark(densePhaseBench(eng.det))))
 		}
 		rep.Results = append(rep.Results, toResult("engine_throughput", testing.Benchmark(throughputBench)))
 		writeReport(rep, *out)
+	}
+
+	if *kernelOut != "" {
+		rep := Report{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Workload:   "single 1024-node cluster store: 64-bit marker kernels over the status slab, frontier scans sparse (1/97 set) and dense (all set), CSR relation-arena walk (4 links/node)",
+		}
+		var worst int64
+		for _, k := range kernelBenches() {
+			br := testing.Benchmark(k.fn)
+			rep.Results = append(rep.Results, toResult("store_kernel/"+k.name, br))
+			if a := br.AllocsPerOp(); a > worst {
+				worst = a
+			}
+		}
+		writeReport(rep, *kernelOut)
+		if *kernelFence >= 0 && worst > *kernelFence {
+			log.Fatalf("alloc fence: a store kernel allocates %d/op, fence is %d", worst, *kernelFence)
+		}
 	}
 
 	if *engineOut != "" {
@@ -165,41 +201,182 @@ func phaseBench(det bool) func(b *testing.B) {
 	return func(b *testing.B) {
 		w := kbgen.Chains(1, 256, 10, 1)
 		w.KB.Preprocess()
-		cfg := machine.PaperConfig()
-		cfg.Deterministic = det
-		m, err := machine.New(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := m.LoadKB(w.KB); err != nil {
-			b.Fatal(err)
-		}
-		defer m.Close()
 		p := isa.NewProgram()
 		p.SearchColor(w.Seeds[0], 0, 0)
 		p.Propagate(0, 1, rules.Path(w.Rel), semnet.FuncAdd)
 		p.Barrier()
+		phaseRun(b, det, w.KB, p)
+	}
+}
 
-		var tasks int64
-		run := func() {
-			m.ClearMarkers()
-			res, err := m.Run(p)
-			if err != nil {
-				b.Fatal(err)
-			}
-			tasks = res.Profile.PropSteps
+// densePhaseBench mirrors BenchmarkPropagatePhase/dense: a MUC-4-style
+// generated knowledge base with SET-MARKER making every node a source,
+// so the frontier scan is fully dense.
+func densePhaseBench(det bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		g, err := kbgen.Generate(kbgen.Params{Nodes: 6000, Seed: 42, WithDomain: true})
+		if err != nil {
+			b.Fatal(err)
 		}
+		g.KB.Preprocess()
+		p := isa.NewProgram()
+		p.Set(0, 0)
+		p.Propagate(0, 1, rules.Path(g.Rel.IsA), semnet.FuncAdd)
+		p.Barrier()
+		phaseRun(b, det, g.KB, p)
+	}
+}
+
+func phaseRun(b *testing.B, det bool, kb *semnet.KB, p *isa.Program) {
+	cfg := machine.PaperConfig()
+	cfg.Deterministic = det
+	if need := (kb.NumNodes() + cfg.Clusters - 1) / cfg.Clusters; need > cfg.NodesPerCluster {
+		cfg.NodesPerCluster = need
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.LoadKB(kb); err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+
+	var tasks int64
+	run := func() {
+		m.ClearMarkers()
+		res, err := m.Run(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tasks = res.Profile.PropSteps
+	}
+	run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
 		run()
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			run()
+	}
+	b.StopTimer()
+	if tasks > 0 {
+		b.ReportMetric(float64(tasks), "tasks/phase")
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(tasks), "ns/task")
+	}
+}
+
+// kernelBench is one entry of the store-kernel suite.
+type kernelBench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// kernelStore builds the canonical 1024-node store the kernel suite runs
+// on: marker 0 set at every third node, marker 1 at every second, binary
+// marker 0 dense (every node), binary marker 1 sparse (every 97th), and
+// four relation links per node in the CSR arena.
+func kernelStore(b *testing.B) *semnet.Store {
+	b.Helper()
+	const n = 1024
+	s := semnet.NewStore(n)
+	links := make([]semnet.Link, 4)
+	for i := 0; i < n; i++ {
+		if _, err := s.AddNode(semnet.NodeID(i), 0, semnet.FuncNop); err != nil {
+			b.Fatal(err)
 		}
-		b.StopTimer()
-		if tasks > 0 {
-			b.ReportMetric(float64(tasks), "tasks/phase")
-			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(tasks), "ns/task")
+		if i%3 == 0 {
+			s.Set(i, 0)
 		}
+		if i%2 == 0 {
+			s.Set(i, 1)
+		}
+		s.Set(i, semnet.Binary(0))
+		if i%97 == 0 {
+			s.Set(i, semnet.Binary(1))
+		}
+		for j := range links {
+			links[j] = semnet.Link{Rel: semnet.RelType(j), Weight: 1, To: semnet.NodeID((i + j + 1) % n)}
+		}
+		if err := s.SetLinks(i, links); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+// kernelBenches returns the store-kernel suite tracked in
+// BENCH_KERNEL.json. Every kernel must stay allocation-free: the suite
+// runs under -fence-kernel-allocs 0 in CI.
+func kernelBenches() []kernelBench {
+	count := 0
+	return []kernelBench{
+		{"and", func(b *testing.B) {
+			s := kernelStore(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.And(0, 1, 2, semnet.FuncNop)
+			}
+		}},
+		{"or", func(b *testing.B) {
+			s := kernelStore(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Or(0, 1, 2, semnet.FuncNop)
+			}
+		}},
+		{"set_all", func(b *testing.B) {
+			s := kernelStore(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.SetAll(3, 1)
+			}
+		}},
+		{"clear_all", func(b *testing.B) {
+			s := kernelStore(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.ClearAll(3)
+			}
+		}},
+		{"foreach_set/sparse", func(b *testing.B) {
+			s := kernelStore(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.ForEachSet(semnet.Binary(1), func(local int) { count += local })
+			}
+		}},
+		{"foreach_set/dense", func(b *testing.B) {
+			s := kernelStore(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.ForEachSet(semnet.Binary(0), func(local int) { count += local })
+			}
+		}},
+		{"count_set", func(b *testing.B) {
+			s := kernelStore(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				count += s.CountSet(0)
+			}
+		}},
+		{"csr_scan", func(b *testing.B) {
+			s := kernelStore(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for local := 0; local < s.NumNodes(); local++ {
+					for _, l := range s.Links(local) {
+						count += int(l.To)
+					}
+				}
+			}
+		}},
 	}
 }
 

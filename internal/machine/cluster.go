@@ -29,8 +29,16 @@ type cluster struct {
 	sems *mpmem.Table
 
 	// Per-propagation-phase state, owned by the cluster's goroutine
-	// during a phase (or by the lockstep engine single-threaded).
-	tasks   []task // min-heap on (ready, seq)
+	// during a phase (or by the lockstep engine single-threaded). The
+	// pending-task queue is split in two: srcRun holds the phase's
+	// source tasks, which the status-table scan emits already sorted by
+	// (ready, seq) and which therefore pop FIFO without any heap
+	// discipline, and tasks is a min-heap for everything pushed while
+	// the phase runs. popTask takes the smaller head of the two.
+	tasks   []task    // min-heap payloads on (ready, seq)
+	keys    []taskKey // heap keys, parallel to tasks: compares touch only this
+	srcRun  []task    // sorted source run, consumed from srcHead
+	srcHead int
 	taskSeq uint64
 	relayQ  relayRing
 	visited visitTable
@@ -247,70 +255,137 @@ type phaseStats struct {
 }
 
 func (c *cluster) resetPhase() {
-	c.tasks = c.tasks[:0] // backing array pooled across phases
+	c.tasks = c.tasks[:0] // backing arrays pooled across phases
+	c.keys = c.keys[:0]
+	c.srcRun = c.srcRun[:0]
+	c.srcHead = 0
 	c.taskSeq = 0
 	c.relayQ.reset()
 	c.visited.reset()
 	c.stats = phaseStats{}
 }
 
-// The task queue is a min-heap on (ready, seq): marker units pull the
-// earliest-available work first, so a late-arriving remote activation
-// cannot head-of-line block tasks that are already runnable (the hardware
-// MUs poll the marker processing memory for ready entries).
+// The task queue pops pending work in (ready, seq) order: marker units
+// pull the earliest-available work first, so a late-arriving remote
+// activation cannot head-of-line block tasks that are already runnable
+// (the hardware MUs poll the marker processing memory for ready entries).
+// seq is unique, so (ready, seq) is a total order and the pop sequence is
+// fully determined no matter how the pending set is stored.
+//
+// Storage is split by origin. Source tasks arrive in one pre-sorted
+// burst: the status scan emits them in ascending seq with nondecreasing
+// ready (each PROPAGATE's sources share one scan-end time, and muRun end
+// times are monotone across the overlap window), so they live in a flat
+// run popped from the front — a dense frontier costs O(1) per source
+// instead of the full-depth sift-down a heap degenerates to on equal
+// keys. Tasks pushed while the phase runs (children, inbound messages)
+// go to a 4-ary min-heap that sifts a hole instead of swapping, with the
+// (ready, seq) keys held in an array parallel to the payloads: the four
+// children of a heap node are 64 contiguous key bytes — one cache line —
+// so a sift level is one line touch plus one payload move. popTask takes
+// the smaller head of run and heap.
 
-func (c *cluster) taskLess(i, j int) bool {
-	a, b := &c.tasks[i], &c.tasks[j]
-	if a.ready != b.ready {
-		return a.ready < b.ready
+const heapArity = 4
+
+// taskKey is a heap element's ordering key.
+type taskKey struct {
+	ready timing.Time
+	seq   uint64
+}
+
+func (a taskKey) less(b taskKey) bool {
+	return a.ready < b.ready || (a.ready == b.ready && a.seq < b.seq)
+}
+
+// pushSourceTask appends a scan-emitted source task to the sorted run.
+// The scan invariant (nondecreasing ready, ascending seq) is what makes
+// the plain append correct; the defensive fallback keeps pop order right
+// even if a future caller breaks it.
+func (c *cluster) pushSourceTask(t task) {
+	t.seq = c.taskSeq
+	c.taskSeq++
+	if n := len(c.srcRun); n > 0 && t.ready < c.srcRun[n-1].ready {
+		c.heapPush(t)
+		return
 	}
-	return a.seq < b.seq
+	c.srcRun = append(c.srcRun, t)
 }
 
 func (c *cluster) pushTask(t task) {
 	t.seq = c.taskSeq
 	c.taskSeq++
+	c.heapPush(t)
+}
+
+func (c *cluster) heapPush(t task) {
+	k := taskKey{ready: t.ready, seq: t.seq}
 	c.tasks = append(c.tasks, t)
-	// Sift up.
-	for i := len(c.tasks) - 1; i > 0; {
-		parent := (i - 1) / 2
-		if !c.taskLess(i, parent) {
+	c.keys = append(c.keys, k)
+	i := len(c.tasks) - 1
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !k.less(c.keys[p]) {
 			break
 		}
-		c.tasks[i], c.tasks[parent] = c.tasks[parent], c.tasks[i]
-		i = parent
+		c.tasks[i], c.keys[i] = c.tasks[p], c.keys[p]
+		i = p
 	}
+	c.tasks[i], c.keys[i] = t, k
 }
 
 func (c *cluster) popTask() (task, bool) {
-	n := len(c.tasks)
-	if n == 0 {
+	if c.srcHead < len(c.srcRun) {
+		s := &c.srcRun[c.srcHead]
+		if len(c.keys) == 0 || (taskKey{ready: s.ready, seq: s.seq}).less(c.keys[0]) {
+			c.srcHead++
+			if c.srcHead == len(c.srcRun) {
+				c.srcRun, c.srcHead = c.srcRun[:0], 0
+			}
+			return *s, true
+		}
+		return c.heapPop(), true
+	}
+	if len(c.tasks) == 0 {
 		return task{}, false
 	}
-	t := c.tasks[0]
-	c.tasks[0] = c.tasks[n-1]
-	c.tasks = c.tasks[:n-1]
-	// Sift down.
-	n--
-	for i := 0; ; {
-		l, r := 2*i+1, 2*i+2
-		min := i
-		if l < n && c.taskLess(l, min) {
-			min = l
-		}
-		if r < n && c.taskLess(r, min) {
-			min = r
-		}
-		if min == i {
-			break
-		}
-		c.tasks[i], c.tasks[min] = c.tasks[min], c.tasks[i]
-		i = min
-	}
-	return t, true
+	return c.heapPop(), true
 }
 
-func (c *cluster) pendingTasks() int { return len(c.tasks) }
+func (c *cluster) heapPop() task {
+	t := c.tasks[0]
+	n := len(c.tasks) - 1
+	last, lastKey := c.tasks[n], c.keys[n]
+	c.tasks, c.keys = c.tasks[:n], c.keys[:n]
+	if n > 0 {
+		// Sift the displaced tail element down from the root hole.
+		i := 0
+		for {
+			first := heapArity*i + 1
+			if first >= n {
+				break
+			}
+			end := first + heapArity
+			if end > n {
+				end = n
+			}
+			min, minKey := first, c.keys[first]
+			for j := first + 1; j < end; j++ {
+				if c.keys[j].less(minKey) {
+					min, minKey = j, c.keys[j]
+				}
+			}
+			if !minKey.less(lastKey) {
+				break
+			}
+			c.tasks[i], c.keys[i] = c.tasks[min], c.keys[min]
+			i = min
+		}
+		c.tasks[i], c.keys[i] = last, lastKey
+	}
+	return t
+}
+
+func (c *cluster) pendingTasks() int { return len(c.tasks) + len(c.srcRun) - c.srcHead }
 
 // childSpec is one propagation step produced by expanding a task.
 type childSpec struct {

@@ -311,11 +311,11 @@ func (st *runState) conflicts(in *isa.Instruction) bool {
 }
 
 // ClearMarkers clears every marker at every node (between experiments).
+// This host-level reset charges no virtual time (the per-instruction path
+// is OpClearMarker), so it clears each store's whole status slab at once.
 func (m *Machine) ClearMarkers() {
 	for _, c := range m.clusters {
-		for mk := 0; mk < semnet.NumMarkers; mk++ {
-			c.store.ClearAll(semnet.MarkerID(mk))
-		}
+		c.store.ClearAllMarkers()
 	}
 }
 

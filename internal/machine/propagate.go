@@ -1,12 +1,14 @@
 package machine
 
 import (
+	"math/bits"
 	"runtime"
 
 	"snap1/internal/barrier"
 	"snap1/internal/icn"
 	"snap1/internal/isa"
 	"snap1/internal/perfmon"
+	"snap1/internal/semnet"
 	"snap1/internal/timing"
 )
 
@@ -138,32 +140,69 @@ func (c *cluster) phaseLoop(m *Machine, entries []batchEntry) {
 	}
 }
 
+// denseSweepBits is the per-word popcount at which the source scan flips
+// from iterating set bits to walking every lane of the word in order —
+// the frontier-adaptive sweep. Near-full words (a SET-MARKER-seeded
+// frontier, a saturated closure) stream the status row, value row and
+// global-ID column sequentially instead of re-deriving each position
+// from the mask.
+const denseSweepBits = semnet.HostWordBits / 4
+
 // injectSources scans marker-1 of every PROPAGATE in the overlap window
-// over this cluster's partition and queues the source tasks.
+// over this cluster's partition and queues the source tasks. The scan
+// walks the packed status row directly: sparse words iterate set bits
+// with TrailingZeros, dense words switch to a sequential lane walk. Both
+// visit locals in ascending order, so task seq numbers — and the
+// simulated timeline — are identical whichever path runs.
 func (c *cluster) injectSources(m *Machine, entries []batchEntry) {
 	for _, e := range entries {
 		in := e.in
 		ready := c.decode(m, e.bAt)
 		scanCost := m.cost.PECost(m.cost.StatusWordCycles * int64(c.store.Words()))
 		scanEnd := c.muRun(ready, scanCost)
-		c.store.ForEachSet(in.M1, func(local int) {
-			var val float32
-			if in.M1.IsComplex() {
-				val = c.store.Value(local, in.M1)
+		vals := c.store.ValueRow(in.M1) // nil for binary or never-written markers
+		globals := c.store.Globals()
+		for w, word := range c.store.StatusRow(in.M1) {
+			if word == 0 {
+				continue
 			}
-			c.pushTask(task{
-				local:    int32(local),
-				marker:   in.M2,
-				rule:     in.Rule,
-				fn:       in.Fn,
-				value:    val,
-				origin:   c.store.Global(local),
-				ready:    scanEnd,
-				isSource: true,
-			})
-			c.stats.sources++
-		})
+			base := w * semnet.HostWordBits
+			if bits.OnesCount64(word) >= denseSweepBits {
+				for b := 0; word != 0; b, word = b+1, word>>1 {
+					if word&1 != 0 {
+						c.pushSource(in, base+b, vals, globals, scanEnd)
+					}
+				}
+			} else {
+				for word != 0 {
+					b := bits.TrailingZeros64(word)
+					word &^= 1 << uint(b)
+					c.pushSource(in, base+b, vals, globals, scanEnd)
+				}
+			}
+		}
 	}
+}
+
+// pushSource queues one PROPAGATE source task found by the status scan.
+// Sources go to the cluster's sorted run, not the heap: the scan emits
+// them in (ready, seq) order already.
+func (c *cluster) pushSource(in *isa.Instruction, local int, vals []float32, globals []semnet.NodeID, ready timing.Time) {
+	var val float32
+	if vals != nil {
+		val = vals[local]
+	}
+	c.pushSourceTask(task{
+		local:    int32(local),
+		marker:   in.M2,
+		rule:     in.Rule,
+		fn:       in.Fn,
+		value:    val,
+		origin:   globals[local],
+		ready:    ready,
+		isSource: true,
+	})
+	c.stats.sources++
 }
 
 // acceptMsg disassembles an inbound message: transit messages queue for

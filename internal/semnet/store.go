@@ -11,9 +11,15 @@ import (
 //
 //   - the node table (color, function, complex-marker value and origin
 //     registers, indexed by local node number),
-//   - the marker status table (one bit per node per marker, packed into
-//     32-bit status words so W=32 nodes are processed per word operation),
-//   - the relation table (up to 16 outgoing links per node).
+//   - the marker status table (one bit per node per marker; the simulated
+//     machine processes W=32 nodes per status-word operation and all
+//     timing charges that width, while the host packs the rows into one
+//     contiguous slab of 64-bit words and sweeps two simulated words per
+//     load),
+//   - the relation table (up to 16 outgoing links per node), stored as a
+//     CSR arena: one packed []Link slab plus per-node offset and count
+//     columns, so a node's links are a contiguous sub-slice of one
+//     allocation instead of a pointer-chased per-node heap slice.
 //
 // A Store is owned by a single cluster and is not safe for concurrent
 // mutation; the cluster's multiport-memory discipline (internal/mpmem)
@@ -27,16 +33,31 @@ type Store struct {
 	fn     []FuncCode
 	global []NodeID // local -> global ID
 
-	// Marker status table: status[m][w] bit b = marker m set at local
-	// node w*32+b.
-	status [NumMarkers][]uint32
+	// Marker status table: one backing slab holding all NumMarkers rows,
+	// each rowWords 64-bit host words long (sized by capacity, so rows
+	// never reallocate and a clone is a single allocation + memclr).
+	// status[m] is the row sub-slice; bit b of word w in row m means
+	// marker m is set at local node w*HostWordBits+b. Bits at or beyond
+	// n are always zero — every whole-row kernel masks the tail.
+	statusSlab []uint64
+	rowWords   int
+	status     [NumMarkers][]uint64
 
 	// Complex-marker registers, allocated on first use per marker.
 	value  [NumComplexMarkers][]float32
 	origin [NumComplexMarkers][]NodeID
 
-	// Relation table.
-	rel [][]Link
+	// Relation table: CSR arena. Node local's links occupy
+	// relLinks[relOff[local] : relOff[local]+relCnt[local]]. Mutators
+	// patch blocks in place when they fit (or sit at the slab tail) and
+	// otherwise relocate the block to the tail, leaving a hole; holes
+	// are compacted away once they dominate the slab. Unlike a strict
+	// n+1-offset CSR, the explicit count column makes single-node
+	// mutation O(degree) instead of O(total links).
+	relOff   []int32
+	relCnt   []int32
+	relLinks []Link
+	relHoles int // dead slots abandoned by relocating mutators
 
 	// sharedTopo marks the node and relation tables as aliased with at
 	// least one other store (CloneTopologyShared). A shared store treats
@@ -49,23 +70,40 @@ type Store struct {
 
 // NewStore returns a store with room for capacity local nodes.
 func NewStore(capacity int) *Store {
-	return &Store{
+	s := &Store{
 		capacity: capacity,
 		color:    make([]Color, 0, capacity),
 		fn:       make([]FuncCode, 0, capacity),
 		global:   make([]NodeID, 0, capacity),
-		rel:      make([][]Link, 0, capacity),
+		relOff:   make([]int32, 0, capacity),
+		relCnt:   make([]int32, 0, capacity),
+	}
+	s.initStatus()
+	return s
+}
+
+// initStatus allocates the status slab and carves the per-marker rows.
+func (s *Store) initStatus() {
+	s.rowWords = (s.capacity + HostWordBits - 1) / HostWordBits
+	s.statusSlab = make([]uint64, NumMarkers*s.rowWords)
+	for m := range s.status {
+		s.status[m] = s.statusSlab[m*s.rowWords : (m+1)*s.rowWords : (m+1)*s.rowWords]
 	}
 }
 
-// Words reports the number of 32-bit status words per marker row.
+// Words reports the number of simulated W=32-bit status words per marker
+// row — the unit every status-sweep instruction charges, regardless of
+// the wider words the host kernels actually load.
 func (s *Store) Words() int { return (s.n + WordBits - 1) / WordBits }
 
+// hostWords reports how many 64-bit host words cover the node range.
+func (s *Store) hostWords() int { return (s.n + HostWordBits - 1) / HostWordBits }
+
 // CloneTopology returns a new store holding the same node and relation
-// tables but entirely fresh (cleared) marker state. The relation table is
-// deep-copied so the clone's mutation instructions cannot alias the
-// original's link slices. This is the download-once/replicate step of a
-// query-serving pool: replicas share one partitioned network without
+// tables but entirely fresh (cleared) marker state. The relation arena is
+// deep-copied (and compacted) so the clone's mutation instructions cannot
+// alias the original's slab. This is the download-once/replicate step of
+// a query-serving pool: replicas share one partitioned network without
 // repeating preprocessing or partitioning.
 func (s *Store) CloneTopology() *Store {
 	c := &Store{
@@ -74,28 +112,28 @@ func (s *Store) CloneTopology() *Store {
 		color:    append([]Color(nil), s.color...),
 		fn:       append([]FuncCode(nil), s.fn...),
 		global:   append([]NodeID(nil), s.global...),
-		rel:      make([][]Link, len(s.rel)),
+		relOff:   make([]int32, len(s.relOff)),
+		relCnt:   append([]int32(nil), s.relCnt...),
+		relLinks: make([]Link, 0, len(s.relLinks)-s.relHoles),
 	}
-	for i, links := range s.rel {
-		if len(links) > 0 {
-			c.rel[i] = append([]Link(nil), links...)
-		}
+	for i := 0; i < s.n; i++ {
+		off := s.relOff[i]
+		c.relOff[i] = int32(len(c.relLinks))
+		c.relLinks = append(c.relLinks, s.relLinks[off:off+s.relCnt[i]]...)
 	}
-	words := s.Words()
-	for m := range c.status {
-		c.status[m] = make([]uint32, words)
-	}
+	c.initStatus()
 	return c
 }
 
 // CloneTopologyShared is CloneTopology's zero-copy fast path: the clone
 // aliases the source's node and relation tables instead of deep-copying
-// them, allocating only fresh (cleared) marker state. Both stores are
-// marked shared; the first topology mutation on either side materializes
-// a private copy first (copy-on-write), so the stores stay semantically
-// independent while the common read-only case — a query-serving pool
-// stamping out replicas of one downloaded network — costs O(markers)
-// instead of O(nodes + links) per replica.
+// them, allocating only fresh (cleared) marker state — with the slab
+// layout, one allocation. Both stores are marked shared; the first
+// topology mutation on either side materializes a private copy first
+// (copy-on-write), so the stores stay semantically independent while the
+// common read-only case — a query-serving pool stamping out replicas of
+// one downloaded network — costs O(markers) instead of O(nodes + links)
+// per replica.
 func (s *Store) CloneTopologyShared() *Store {
 	s.sharedTopo.Store(true)
 	c := &Store{
@@ -104,13 +142,13 @@ func (s *Store) CloneTopologyShared() *Store {
 		color:    s.color,
 		fn:       s.fn,
 		global:   s.global,
-		rel:      s.rel,
+		relOff:   s.relOff,
+		relCnt:   s.relCnt,
+		relLinks: s.relLinks,
+		relHoles: s.relHoles,
 	}
 	c.sharedTopo.Store(true)
-	words := s.Words()
-	for m := range c.status {
-		c.status[m] = make([]uint32, words)
-	}
+	c.initStatus()
 	return c
 }
 
@@ -126,13 +164,13 @@ func (s *Store) own() {
 	copy(fn, s.fn)
 	global := make([]NodeID, len(s.global), s.capacity)
 	copy(global, s.global)
-	rel := make([][]Link, len(s.rel), s.capacity)
-	for i, links := range s.rel {
-		if len(links) > 0 {
-			rel[i] = append([]Link(nil), links...)
-		}
-	}
-	s.color, s.fn, s.global, s.rel = color, fn, global, rel
+	relOff := make([]int32, len(s.relOff), s.capacity)
+	copy(relOff, s.relOff)
+	relCnt := make([]int32, len(s.relCnt), s.capacity)
+	copy(relCnt, s.relCnt)
+	relLinks := append([]Link(nil), s.relLinks...)
+	s.color, s.fn, s.global = color, fn, global
+	s.relOff, s.relCnt, s.relLinks = relOff, relCnt, relLinks
 	s.sharedTopo.Store(false)
 }
 
@@ -153,22 +191,14 @@ func (s *Store) AddNode(global NodeID, color Color, fn FuncCode) (int, error) {
 	s.color = append(s.color, color)
 	s.fn = append(s.fn, fn)
 	s.global = append(s.global, global)
-	s.rel = append(s.rel, nil)
-	if s.n > len(s.status[0])*WordBits {
-		for m := range s.status {
-			s.status[m] = append(s.status[m], 0)
-		}
-		for m := range s.value {
-			if s.value[m] != nil {
-				s.value[m] = append(s.value[m], make([]float32, WordBits)...)
-				s.origin[m] = append(s.origin[m], make([]NodeID, WordBits)...)
-			}
-		}
-	}
+	s.relOff = append(s.relOff, int32(len(s.relLinks)))
+	s.relCnt = append(s.relCnt, 0)
 	return local, nil
 }
 
-// SetLinks installs the relation-table entries for a local node.
+// SetLinks installs the relation-table entries for a local node. The
+// links are copied into the store's CSR arena; the caller keeps ownership
+// of the argument slice.
 func (s *Store) SetLinks(local int, links []Link) error {
 	if local < 0 || local >= s.n {
 		return fmt.Errorf("%w: local %d", ErrUnknownNode, local)
@@ -177,12 +207,56 @@ func (s *Store) SetLinks(local int, links []Link) error {
 		return fmt.Errorf("%w: %d links exceed %d relation slots", ErrCapacity, len(links), RelationSlots)
 	}
 	s.own()
-	s.rel[local] = links
+	s.setBlock(local, links)
 	return nil
+}
+
+// setBlock replaces node local's arena block with links: shrinking in
+// place when the new block fits, extending in place when the block sits
+// at the slab tail, and otherwise relocating to the tail.
+func (s *Store) setBlock(local int, links []Link) {
+	off, cnt := s.relOff[local], s.relCnt[local]
+	switch {
+	case len(links) <= int(cnt):
+		copy(s.relLinks[off:], links)
+		s.relHoles += int(cnt) - len(links)
+	case int(off)+int(cnt) == len(s.relLinks):
+		s.relLinks = append(s.relLinks[:off], links...)
+	default:
+		s.relHoles += int(cnt)
+		s.relOff[local] = int32(len(s.relLinks))
+		s.relLinks = append(s.relLinks, links...)
+	}
+	s.relCnt[local] = int32(len(links))
+	s.maybeCompact()
+}
+
+// maybeCompact repacks the arena once relocation holes dominate it.
+// Only called from mutators, after own(), so aliased slabs are never
+// rewritten.
+func (s *Store) maybeCompact() {
+	if s.relHoles > 64 && s.relHoles*2 > len(s.relLinks) {
+		s.compact()
+	}
+}
+
+// compact rebuilds the slab densely in local-node order.
+func (s *Store) compact() {
+	packed := make([]Link, 0, len(s.relLinks)-s.relHoles)
+	for i := 0; i < s.n; i++ {
+		off := s.relOff[i]
+		s.relOff[i] = int32(len(packed))
+		packed = append(packed, s.relLinks[off:off+s.relCnt[i]]...)
+	}
+	s.relLinks, s.relHoles = packed, 0
 }
 
 // Global returns the global NodeID of a local node.
 func (s *Store) Global(local int) NodeID { return s.global[local] }
+
+// Globals returns the local→global ID column of the node table. The
+// returned slice is owned by the store and must not be modified.
+func (s *Store) Globals() []NodeID { return s.global }
 
 // Color returns the node-table color of a local node.
 func (s *Store) Color(local int) Color { return s.color[local] }
@@ -190,22 +264,28 @@ func (s *Store) Color(local int) Color { return s.color[local] }
 // Fn returns the node-table propagation function of a local node.
 func (s *Store) Fn(local int) FuncCode { return s.fn[local] }
 
-// Links returns the relation-table entries of a local node. The returned
-// slice is owned by the store and must not be modified.
-func (s *Store) Links(local int) []Link { return s.rel[local] }
+// Links returns the relation-table entries of a local node: a contiguous
+// sub-slice of the CSR arena. The returned slice is owned by the store
+// and must not be modified.
+func (s *Store) Links(local int) []Link {
+	off, end := s.relOff[local], s.relOff[local]+s.relCnt[local]
+	return s.relLinks[off:end:end]
+}
+
+// NumLinks reports the number of live relation-table entries.
+func (s *Store) NumLinks() int { return len(s.relLinks) - s.relHoles }
 
 func (s *Store) ensureValues(m MarkerID) {
 	if s.value[m] == nil {
-		words := len(s.status[m])
-		s.value[m] = make([]float32, words*WordBits)
-		s.origin[m] = make([]NodeID, words*WordBits)
+		s.value[m] = make([]float32, s.capacity)
+		s.origin[m] = make([]NodeID, s.capacity)
 	}
 }
 
 // Set sets marker m at a local node and reports whether the bit was
 // previously clear (the "newly activated" signal that drives propagation).
 func (s *Store) Set(local int, m MarkerID) bool {
-	w, b := local/WordBits, uint(local%WordBits)
+	w, b := local/HostWordBits, uint(local%HostWordBits)
 	old := s.status[m][w]
 	s.status[m][w] = old | 1<<b
 	return old&(1<<b) == 0
@@ -213,14 +293,31 @@ func (s *Store) Set(local int, m MarkerID) bool {
 
 // Clear clears marker m at a local node.
 func (s *Store) Clear(local int, m MarkerID) {
-	w, b := local/WordBits, uint(local%WordBits)
+	w, b := local/HostWordBits, uint(local%HostWordBits)
 	s.status[m][w] &^= 1 << b
 }
 
 // Test reports whether marker m is set at a local node.
 func (s *Store) Test(local int, m MarkerID) bool {
-	w, b := local/WordBits, uint(local%WordBits)
+	w, b := local/HostWordBits, uint(local%HostWordBits)
 	return s.status[m][w]&(1<<b) != 0
+}
+
+// StatusRow returns marker m's packed status row (64-bit host words,
+// ascending locals; bits at or beyond NumNodes are zero). Read-only:
+// the slice is owned by the store.
+func (s *Store) StatusRow(m MarkerID) []uint64 {
+	return s.status[m][:s.hostWords()]
+}
+
+// ValueRow returns marker m's value-register column, or nil when m is
+// binary or the registers were never written (all values zero either
+// way). Read-only: the slice is owned by the store.
+func (s *Store) ValueRow(m MarkerID) []float32 {
+	if !m.IsComplex() {
+		return nil
+	}
+	return s.value[m]
 }
 
 // SetValue writes the complex-marker value and origin registers.
@@ -251,73 +348,76 @@ func (s *Store) Origin(local int, m MarkerID) NodeID {
 	return s.origin[m][local]
 }
 
-// lastWordMask returns the valid-bit mask for the final status word.
-func (s *Store) lastWordMask() uint32 {
-	r := uint(s.n % WordBits)
+// lastHostWordMask returns the valid-bit mask for the final host word.
+func (s *Store) lastHostWordMask() uint64 {
+	r := uint(s.n % HostWordBits)
 	if r == 0 {
-		return ^uint32(0)
+		return ^uint64(0)
 	}
 	return (1 << r) - 1
 }
 
-// And computes m3 = m1 AND m2 over the whole partition, one status word
-// (32 nodes) at a time. For a complex m3, fn combines the operand values
-// at every newly-set node. It returns the number of words processed, the
-// MU's unit of work for global boolean operations.
+// And computes m3 = m1 AND m2 over the whole partition and returns the
+// number of simulated W=32 status words processed, the MU's unit of work
+// for global boolean operations (the host sweeps 64-bit words). For a
+// complex m3, fn combines the operand values at every newly-set node.
 func (s *Store) And(m1, m2, m3 MarkerID, fn FuncCode) int {
-	words := s.Words()
-	for w := 0; w < words; w++ {
-		w1, w2 := s.status[m1][w], s.status[m2][w]
+	r1, r2, r3 := s.status[m1], s.status[m2], s.status[m3]
+	complex3 := m3.IsComplex()
+	for w := s.hostWords() - 1; w >= 0; w-- {
+		w1, w2 := r1[w], r2[w]
 		res := w1 & w2
-		s.status[m3][w] = res
-		if res != 0 && m3.IsComplex() {
+		r3[w] = res
+		if res != 0 && complex3 {
 			s.combineValues(w, res, w1, w2, m1, m2, m3, fn)
 		}
 	}
-	return words
+	return s.Words()
 }
 
-// Or computes m3 = m1 OR m2 over the whole partition and returns words
-// processed. Values for a complex m3 are merged from whichever operand is
-// set (m1 preferred when both are).
+// Or computes m3 = m1 OR m2 over the whole partition and returns simulated
+// words processed. Values for a complex m3 are merged from whichever
+// operand is set (m1 preferred when both are).
 func (s *Store) Or(m1, m2, m3 MarkerID, fn FuncCode) int {
-	words := s.Words()
-	for w := 0; w < words; w++ {
-		w1, w2 := s.status[m1][w], s.status[m2][w]
+	r1, r2, r3 := s.status[m1], s.status[m2], s.status[m3]
+	complex3 := m3.IsComplex()
+	for w := s.hostWords() - 1; w >= 0; w-- {
+		w1, w2 := r1[w], r2[w]
 		res := w1 | w2
-		s.status[m3][w] = res
-		if res != 0 && m3.IsComplex() {
+		r3[w] = res
+		if res != 0 && complex3 {
 			s.combineValues(w, res, w1, w2, m1, m2, m3, fn)
 		}
 	}
-	return words
+	return s.Words()
 }
 
-// Not computes m2 = NOT m1 over the valid node range and returns words
-// processed. Bits beyond the partition's node count remain clear.
+// Not computes m2 = NOT m1 over the valid node range and returns simulated
+// words processed. Bits beyond the partition's node count remain clear.
 func (s *Store) Not(m1, m2 MarkerID) int {
-	words := s.Words()
-	for w := 0; w < words; w++ {
-		mask := ^uint32(0)
-		if w == words-1 {
-			mask = s.lastWordMask()
+	r1, r2 := s.status[m1], s.status[m2]
+	hw := s.hostWords()
+	for w := 0; w < hw; w++ {
+		mask := ^uint64(0)
+		if w == hw-1 {
+			mask = s.lastHostWordMask()
 		}
-		s.status[m2][w] = ^s.status[m1][w] & mask
+		r2[w] = ^r1[w] & mask
 	}
-	return words
+	return s.Words()
 }
 
-// combineValues fills m3's value registers for every set bit in word w.
-// w1 and w2 are the operands' status words sampled BEFORE m3 was written,
-// so the guard is correct even when m3 aliases an operand. Value registers
-// of markers that were not set contribute zero: a cleared marker's stale
-// register contents must not leak into results.
-func (s *Store) combineValues(w int, set, w1, w2 uint32, m1, m2, m3 MarkerID, fn FuncCode) {
+// combineValues fills m3's value registers for every set bit in host word
+// w. w1 and w2 are the operands' status words sampled BEFORE m3 was
+// written, so the guard is correct even when m3 aliases an operand. Value
+// registers of markers that were not set contribute zero: a cleared
+// marker's stale register contents must not leak into results.
+func (s *Store) combineValues(w int, set, w1, w2 uint64, m1, m2, m3 MarkerID, fn FuncCode) {
 	s.ensureValues(m3)
 	for set != 0 {
-		b := bits.TrailingZeros32(set)
+		b := bits.TrailingZeros64(set)
 		set &^= 1 << uint(b)
-		local := w*WordBits + b
+		local := w*HostWordBits + b
 		set1 := w1&(1<<uint(b)) != 0
 		set2 := w2&(1<<uint(b)) != 0
 		// The function combines only values that exist: where a single
@@ -343,74 +443,126 @@ func (s *Store) combineValues(w int, set, w1, w2 uint32, m1, m2, m3 MarkerID, fn
 }
 
 // SetAll sets marker m at every node with the given value and returns
-// words processed (the SET-MARKER sweep).
+// simulated words processed (the SET-MARKER sweep). The status row is
+// word-filled with the tail masked; the value registers are filled with
+// a doubling memmove rather than a per-node scalar loop.
 func (s *Store) SetAll(m MarkerID, v float32) int {
-	words := s.Words()
-	for w := 0; w < words; w++ {
-		mask := ^uint32(0)
-		if w == words-1 {
-			mask = s.lastWordMask()
+	row := s.status[m]
+	hw := s.hostWords()
+	for w := 0; w < hw; w++ {
+		mask := ^uint64(0)
+		if w == hw-1 {
+			mask = s.lastHostWordMask()
 		}
-		s.status[m][w] = mask
+		row[w] = mask
 	}
 	if m.IsComplex() {
 		s.ensureValues(m)
-		for i := 0; i < s.n; i++ {
-			s.value[m][i] = v
-		}
+		fillFloat32(s.value[m][:s.n], v)
 	}
-	return words
+	return s.Words()
 }
 
-// ClearAll clears marker m everywhere and returns words processed.
-func (s *Store) ClearAll(m MarkerID) int {
-	words := s.Words()
-	for w := 0; w < words; w++ {
-		s.status[m][w] = 0
+// fillFloat32 sets every element of dst to v by doubling copy (memmove),
+// the scalar-row analogue of the status table's word fill.
+func fillFloat32(dst []float32, v float32) {
+	if len(dst) == 0 {
+		return
 	}
-	return words
+	dst[0] = v
+	for i := 1; i < len(dst); i *= 2 {
+		copy(dst[i:], dst[:i])
+	}
+}
+
+// ClearAll clears marker m everywhere and returns simulated words
+// processed.
+func (s *Store) ClearAll(m MarkerID) int {
+	clear(s.status[m][:s.hostWords()])
+	return s.Words()
+}
+
+// ClearAllMarkers clears every marker row — the host fast path behind
+// Machine.ClearMarkers (per-instruction CLEAR-MARKER timing still goes
+// through ClearAll). A well-filled store clears the whole slab in one
+// memclr; a store holding far fewer nodes than its capacity clears only
+// each row's used prefix (bits past n are zero by invariant).
+func (s *Store) ClearAllMarkers() {
+	hw := s.hostWords()
+	if hw*2 >= s.rowWords {
+		clear(s.statusSlab)
+		return
+	}
+	for m := range s.status {
+		clear(s.status[m][:hw])
+	}
 }
 
 // FuncAll applies fn with the given operand to the value register of every
-// node where m is set (FUNC-MARKER) and returns words processed.
+// node where m is set (FUNC-MARKER) and returns simulated words processed.
+// The bit row is scanned word-wise; the value updates are inherently
+// per-node scalar work.
 func (s *Store) FuncAll(m MarkerID, fn FuncCode, operand float32) int {
-	words := s.Words()
 	if !m.IsComplex() {
-		return words
+		return s.Words()
 	}
 	s.ensureValues(m)
-	for w := 0; w < words; w++ {
+	vals := s.value[m]
+	hw := s.hostWords()
+	for w := 0; w < hw; w++ {
 		set := s.status[m][w]
 		for set != 0 {
-			b := bits.TrailingZeros32(set)
+			b := bits.TrailingZeros64(set)
 			set &^= 1 << uint(b)
-			local := w*WordBits + b
-			s.value[m][local] = fn.Apply(s.value[m][local], operand)
+			local := w*HostWordBits + b
+			vals[local] = fn.Apply(vals[local], operand)
 		}
 	}
-	return words
+	return s.Words()
 }
 
+// denseWordBits is the per-word popcount at which frontier scans switch
+// from iterating set bits (TrailingZeros) to a linear lane walk: once a
+// word is mostly full, stepping every lane in order touches the node
+// table and CSR arena sequentially instead of re-deriving each position
+// from the bit mask (the direction-optimizing dense sweep).
+const denseWordBits = HostWordBits / 4
+
 // ForEachSet calls f for every local node where m is set, in ascending
-// order, and returns the number of status words scanned.
+// order, and returns the number of simulated status words scanned. The
+// scan is frontier-adaptive: sparse words iterate set bits, dense words
+// switch to a sequential lane walk.
 func (s *Store) ForEachSet(m MarkerID, f func(local int)) int {
-	words := s.Words()
-	for w := 0; w < words; w++ {
-		set := s.status[m][w]
-		for set != 0 {
-			b := bits.TrailingZeros32(set)
-			set &^= 1 << uint(b)
-			f(w*WordBits + b)
+	row := s.status[m]
+	hw := s.hostWords()
+	for w := 0; w < hw; w++ {
+		word := row[w]
+		if word == 0 {
+			continue
+		}
+		base := w * HostWordBits
+		if bits.OnesCount64(word) >= denseWordBits {
+			for b := 0; word != 0; b, word = b+1, word>>1 {
+				if word&1 != 0 {
+					f(base + b)
+				}
+			}
+		} else {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &^= 1 << uint(b)
+				f(base + b)
+			}
 		}
 	}
-	return words
+	return s.Words()
 }
 
 // CountSet reports how many local nodes have m set.
 func (s *Store) CountSet(m MarkerID) int {
 	n := 0
-	for _, w := range s.status[m] {
-		n += bits.OnesCount32(w)
+	for _, w := range s.status[m][:s.hostWords()] {
+		n += bits.OnesCount64(w)
 	}
 	return n
 }

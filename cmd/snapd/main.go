@@ -14,10 +14,18 @@
 //	                 (or Content-Type: text/plain with raw assembly)
 //	GET  /v1/stats   serving counters, batch/steal/shed stats, cache
 //	                 hit rates, per-stage latency
+//	GET  /v1/health  per-replica quarantine state and overall status
 //
-// Overloaded submissions (full queue or in-flight ceiling) answer 503
-// with a Retry-After header. SIGINT/SIGTERM drains in-flight queries
-// before exit.
+// Every non-2xx response carries the typed error envelope
+// {"error":{"code":...,"message":...,"retryable":...}} (see
+// docs/RESILIENCE.md). Overloaded submissions (full queue or in-flight
+// ceiling) answer 503 with a Retry-After header estimated from the
+// live queue depth and drain rate. SIGINT/SIGTERM drains in-flight
+// queries before exit.
+//
+// A fault plan (-fault-plan plan.json) arms seeded fault injection in
+// the simulated hardware for resilience drills; pair it with
+// -query-timeout and -retries to exercise degraded serving.
 //
 // Example:
 //
@@ -40,6 +48,7 @@ import (
 	"time"
 
 	"snap1/internal/engine"
+	"snap1/internal/fault"
 	"snap1/internal/kbfile"
 	"snap1/internal/kbgen"
 	"snap1/internal/machine"
@@ -66,6 +75,9 @@ func main() {
 	clusters := flag.Int("clusters", 16, "cluster count per replica")
 	part := flag.String("partition", "semantic", "partitioning: sequential, round-robin, or semantic")
 	monCap := flag.Int("monitor", 4096, "perfmon FIFO capacity (0 disables)")
+	faultPlan := flag.String("fault-plan", "", "seeded fault-injection plan (JSON file; see docs/RESILIENCE.md)")
+	queryTimeout := flag.Duration("query-timeout", 10*time.Second, "per-attempt query deadline (0 disables)")
+	retries := flag.Int("retries", 3, "total execution attempts per query (1 disables retries)")
 	flag.Parse()
 
 	kb, err := loadKB(*kbPath, *gen, *domain, *seed)
@@ -80,6 +92,8 @@ func main() {
 		engine.WithCacheCap(*cacheCap),
 		engine.WithResultCache(*resultCache),
 		engine.WithMaxInFlight(*maxInFlight),
+		engine.WithQueryTimeout(*queryTimeout),
+		engine.WithRetryPolicy(engine.RetryPolicy{MaxAttempts: *retries}),
 		engine.WithMachineOptions(
 			machine.WithClusters(*clusters),
 			machine.WithMarkerUnits(2, 0),
@@ -89,6 +103,14 @@ func main() {
 	}
 	if *monCap > 0 {
 		opts = append(opts, engine.WithMonitor(perfmon.NewCollector(*monCap)))
+	}
+	if *faultPlan != "" {
+		plan, err := fault.Load(*faultPlan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("fault plan armed: seed %d, %d rule(s)", plan.Seed, len(plan.Rules))
+		opts = append(opts, engine.WithFaultPlan(plan))
 	}
 	start := time.Now()
 	eng, err := engine.New(kb, opts...)

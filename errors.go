@@ -2,6 +2,7 @@ package snap1
 
 import (
 	"snap1/internal/engine"
+	"snap1/internal/fault"
 	"snap1/internal/isa"
 	"snap1/internal/machine"
 	"snap1/internal/semnet"
@@ -31,4 +32,11 @@ var (
 	// control sheds the query: the submit queue is full or the in-flight
 	// ceiling is reached. Retry after backoff.
 	ErrEngineOverloaded = engine.ErrOverloaded
+
+	// ErrFaultInjected marks a run poisoned by injected ICN corruption
+	// under an active fault plan. The failure is transient by
+	// construction — a clean re-run returns the bit-identical result —
+	// so the engine retries it automatically and HTTP clients see
+	// retryable=true.
+	ErrFaultInjected = fault.ErrInjected
 )

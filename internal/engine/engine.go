@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"snap1/internal/fault"
 	"snap1/internal/isa"
 	"snap1/internal/machine"
 	"snap1/internal/perfmon"
@@ -90,8 +91,62 @@ type Config struct {
 	Machine machine.Config
 	// Monitor, when non-nil, receives engine-level performance events
 	// (EvQuerySubmit, EvBatchDispatch, EvQueryDone, EvQueryCancel,
-	// EvWorkSteal, EvQueryShed, EvResultHit).
+	// EvWorkSteal, EvQueryShed, EvResultHit, and the resilience events
+	// EvFaultInjected, EvReplicaQuarantined, EvQueryRetried,
+	// EvReplicaRestored).
 	Monitor *perfmon.Collector
+	// QueryTimeout bounds each execution attempt (queue residency plus
+	// the run). An attempt that exceeds it fails with
+	// context.DeadlineExceeded, feeds replica health tracking, and is
+	// retried under Retry while the caller's context allows. 0 disables
+	// per-attempt deadlines.
+	QueryTimeout time.Duration
+	// Retry bounds re-execution of retryable failures: runs poisoned by
+	// injected faults and per-attempt timeouts (see RetryPolicy).
+	Retry RetryPolicy
+	// Health governs replica quarantine and reintegration (see
+	// HealthPolicy).
+	Health HealthPolicy
+	// FaultPlan, when non-nil, arms deterministic fault injection on
+	// every replica, seeded per replica rank (soak testing).
+	FaultPlan *fault.Plan
+}
+
+// Validate reports every invalid field of the configuration in one
+// wrapped error (errors.Join) rather than stopping at the first, so a
+// misconfigured caller learns all problems at once. Zero values are
+// valid — they select defaults.
+func (c Config) Validate() error {
+	var errs []error
+	nonNeg := func(name string, v int) {
+		if v < 0 {
+			errs = append(errs, fmt.Errorf("%s must be >= 0, got %d", name, v))
+		}
+	}
+	nonNeg("Replicas", c.Replicas)
+	nonNeg("MaxBatch", c.MaxBatch)
+	nonNeg("QueueCap", c.QueueCap)
+	nonNeg("CacheCap", c.CacheCap)
+	nonNeg("MaxInFlight", c.MaxInFlight)
+	if c.QueryTimeout < 0 {
+		errs = append(errs, fmt.Errorf("QueryTimeout must be >= 0, got %v", c.QueryTimeout))
+	}
+	errs = append(errs, c.Retry.validate()...)
+	errs = append(errs, c.Health.validate()...)
+	if c.Machine.Clusters != 0 {
+		if err := c.Machine.Validate(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if c.FaultPlan != nil {
+		if err := c.FaultPlan.Validate(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("engine: invalid configuration: %w", errors.Join(errs...))
 }
 
 // Option refines a Config.
@@ -146,6 +201,27 @@ func WithMonitor(mon *perfmon.Collector) Option {
 	return func(c *Config) { c.Monitor = mon }
 }
 
+// WithQueryTimeout bounds each execution attempt; 0 disables
+// per-attempt deadlines.
+func WithQueryTimeout(d time.Duration) Option {
+	return func(c *Config) { c.QueryTimeout = d }
+}
+
+// WithRetryPolicy sets the retry budget for retryable query failures.
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(c *Config) { c.Retry = p }
+}
+
+// WithHealthPolicy sets the replica quarantine/reintegration policy.
+func WithHealthPolicy(p HealthPolicy) Option {
+	return func(c *Config) { c.Health = p }
+}
+
+// WithFaultPlan arms deterministic fault injection on every replica.
+func WithFaultPlan(p *fault.Plan) Option {
+	return func(c *Config) { c.FaultPlan = p }
+}
+
 func defaultMachineConfig() machine.Config {
 	mc := machine.PaperConfig()
 	mc.Deterministic = true
@@ -178,7 +254,9 @@ type Engine struct {
 
 	machines []*machine.Machine // index = replica rank = shard owner
 	shards   []*shard
-	notify   chan struct{} // wake tokens for parked replicas
+	health   []*replicaHealth // index = replica rank
+	notify   chan struct{}    // wake tokens for parked replicas
+	start    time.Time        // bring-up instant; drain-rate baseline
 
 	queued   atomic.Int64 // requests resident in shards
 	inflight atomic.Int64 // admitted and not yet answered
@@ -206,6 +284,9 @@ func New(kb *semnet.KB, opts ...Option) (*Engine, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.Replicas <= 0 {
 		cfg.Replicas = 4
 	}
@@ -224,6 +305,8 @@ func New(kb *semnet.KB, opts ...Option) (*Engine, error) {
 	if cfg.Machine.Clusters == 0 {
 		cfg.Machine = defaultMachineConfig()
 	}
+	cfg.Retry = cfg.Retry.normalized()
+	cfg.Health = cfg.Health.normalized(cfg.QueryTimeout)
 	kb.Preprocess()
 	if need := (kb.NumNodes() + cfg.Machine.Clusters - 1) / cfg.Machine.Clusters; need > cfg.Machine.NodesPerCluster {
 		cfg.Machine.NodesPerCluster = need
@@ -240,6 +323,11 @@ func New(kb *semnet.KB, opts ...Option) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.FaultPlan != nil {
+		for rank, m := range machines {
+			m.SetFaultInjector(cfg.FaultPlan.Injector(rank))
+		}
+	}
 
 	e := &Engine{
 		cfg:      cfg,
@@ -249,7 +337,9 @@ func New(kb *semnet.KB, opts ...Option) (*Engine, error) {
 		mon:      cfg.Monitor,
 		machines: machines,
 		shards:   make([]*shard, cfg.Replicas),
+		health:   make([]*replicaHealth, cfg.Replicas),
 		notify:   make(chan struct{}, cfg.Replicas),
+		start:    time.Now(),
 		done:     make(chan struct{}),
 		cache:    newLRUCache[uint64, *isa.Program](cfg.CacheCap),
 	}
@@ -259,6 +349,7 @@ func New(kb *semnet.KB, opts ...Option) (*Engine, error) {
 	}
 	for i := range e.shards {
 		e.shards[i] = &shard{}
+		e.health[i] = &replicaHealth{}
 	}
 	e.st.replicas = cfg.Replicas
 
@@ -345,7 +436,7 @@ func (e *Engine) Submit(ctx context.Context, prog *isa.Program) (*machine.Result
 		e.valid.Store(h, struct{}{})
 	}
 	if e.results == nil {
-		return e.execute(ctx, prog, h)
+		return e.executeRetry(ctx, prog, h)
 	}
 
 	gen := e.kb.Generation()
@@ -358,7 +449,7 @@ func (e *Engine) Submit(ctx context.Context, prog *isa.Program) (*machine.Result
 	for {
 		f, leader := e.flights.join(h)
 		if leader {
-			res, err := e.execute(ctx, prog, h)
+			res, err := e.executeRetry(ctx, prog, h)
 			if err == nil {
 				e.results.put(h, gen, res)
 			}
@@ -383,9 +474,10 @@ func (e *Engine) Submit(ctx context.Context, prog *isa.Program) (*machine.Result
 	}
 }
 
-// execute admits a validated query, enqueues it on its hash shard, and
+// execute admits a validated query, enqueues it on its hash shard
+// (rotated by the attempt number, skipping quarantined replicas), and
 // waits for the serving replica's response.
-func (e *Engine) execute(ctx context.Context, prog *isa.Program, h uint64) (*machine.Result, error) {
+func (e *Engine) execute(ctx context.Context, prog *isa.Program, h uint64, attempt int) (*machine.Result, error) {
 	select {
 	case <-e.done:
 		return nil, ErrClosed
@@ -407,7 +499,7 @@ func (e *Engine) execute(ctx context.Context, prog *isa.Program, h uint64) (*mac
 	defer e.inflight.Add(-1)
 
 	req := &request{ctx: ctx, prog: prog, hash: h, resp: make(chan response, 1), enqueued: time.Now()}
-	depth := e.shards[int(h%uint64(len(e.shards)))].push(req)
+	depth := e.shards[e.pickShard(h, attempt)].push(req)
 	e.st.submit()
 	e.emit(-1, perfmon.EvQuerySubmit, uint32(depth), 0)
 	e.wake()
@@ -487,6 +579,14 @@ func (e *Engine) serve(rank int) {
 	own := e.shards[rank]
 	batch := make([]*request, 0, e.cfg.MaxBatch)
 	for {
+		if e.health[rank].isQuarantined() {
+			// Out of the ring: probe until healthy (or shutdown). The
+			// shard's backlog is drained by the healthy replicas' steals.
+			if !e.probeQuarantined(rank, m) {
+				return
+			}
+			continue
+		}
 		batch = own.popN(e.cfg.MaxBatch, batch[:0])
 		if len(batch) == 0 {
 			batch = e.steal(rank, batch)
@@ -528,7 +628,13 @@ func (e *Engine) runBatch(rank int, m *machine.Machine, batch []*request) {
 		e.st.run(time.Since(start), err)
 		switch {
 		case err == nil:
+			e.noteSuccess(rank)
 			e.emit(rank, perfmon.EvQueryDone, uint32(res.Time), res.Time)
+		case errors.Is(err, context.DeadlineExceeded):
+			// A deadline blown on this replica — possibly a wedged or
+			// crawling array — counts toward its quarantine threshold.
+			e.noteTimeout(rank)
+			e.emit(rank, perfmon.EvQueryCancel, uint32(e.queued.Load()), 0)
 		case req.ctx.Err() != nil:
 			e.emit(rank, perfmon.EvQueryCancel, uint32(e.queued.Load()), 0)
 		}
@@ -574,5 +680,5 @@ func (e *Engine) Stats() Stats {
 	if e.results != nil {
 		resultEntries = e.results.len()
 	}
-	return e.st.snapshot(depth, idle, int(e.inflight.Load()), resultEntries)
+	return e.st.snapshot(depth, idle, int(e.inflight.Load()), resultEntries, e.healthyReplicas())
 }

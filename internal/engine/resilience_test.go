@@ -1,0 +1,288 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"snap1/internal/fault"
+	"snap1/internal/kbgen"
+	"snap1/internal/machine"
+	"snap1/internal/partition"
+)
+
+// faultTestMachine is a small round-robin-partitioned lockstep array:
+// round-robin scatters the is-a chains across clusters, so every
+// inheritance query crosses the ICN and fault rules on ICN sites bite
+// deterministically.
+func faultTestMachine() machine.Config {
+	mc := machine.DefaultConfig()
+	mc.Clusters = 4
+	mc.ExtraMUClusters = 2
+	mc.NodesPerCluster = 64
+	mc.Deterministic = true
+	mc.Partition = partition.RoundRobin
+	return mc
+}
+
+func resilientEngine(t *testing.T, g *kbgen.Generated, plan *fault.Plan, opts ...Option) *Engine {
+	t.Helper()
+	all := append([]Option{
+		WithMachineConfig(faultTestMachine()),
+		WithFaultPlan(plan),
+	}, opts...)
+	e, err := New(g.KB, all...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+// TestNewReportsAllInvalidOptions requires New to surface every invalid
+// option in one error, not just the first one it trips over.
+func TestNewReportsAllInvalidOptions(t *testing.T) {
+	g := fig15KB(t, 200)
+	_, err := New(g.KB,
+		WithReplicas(-2),
+		WithQueueCap(-1),
+		WithQueryTimeout(-time.Second),
+		WithRetryPolicy(RetryPolicy{MaxAttempts: -3}),
+		WithHealthPolicy(HealthPolicy{ProbeInterval: -time.Millisecond}),
+	)
+	if err == nil {
+		t.Fatal("New accepted an invalid configuration")
+	}
+	for _, frag := range []string{
+		"engine: invalid configuration",
+		"Replicas", "QueueCap", "QueryTimeout",
+		"Retry.MaxAttempts", "Health.ProbeInterval",
+	} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error %q does not mention %q", err, frag)
+		}
+	}
+}
+
+// TestConfigValidateFaultPlan folds fault-plan errors into the same
+// joined configuration error.
+func TestConfigValidateFaultPlan(t *testing.T) {
+	cfg := Config{FaultPlan: &fault.Plan{Rules: []fault.Rule{{Site: "no-such-site", Rate: 2}}}}
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("bad fault plan accepted")
+	}
+	if !strings.Contains(err.Error(), "no-such-site") {
+		t.Errorf("error %q does not mention the bad site", err)
+	}
+}
+
+// TestRetryRecoversFromInjectedFaults: every replica drops the first
+// ICN messages it sees (bounded budget), so first attempts fail poisoned
+// and the retry loop must land a clean re-execution with the exact
+// sequential result.
+func TestRetryRecoversFromInjectedFaults(t *testing.T) {
+	g := fig15KB(t, 200)
+	// Count 1: a dropped message halts the propagation wave, so each
+	// poisoned run consumes exactly one budget unit — one poisoned run
+	// per replica, then clean re-execution.
+	plan := &fault.Plan{Seed: 42, Rules: []fault.Rule{
+		{Site: "icn-drop", Rate: 1, Count: 1},
+	}}
+	e := resilientEngine(t, g, plan,
+		WithReplicas(2),
+		WithRetryPolicy(RetryPolicy{MaxAttempts: 6, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond}),
+	)
+	src := inheritanceQuery(g, queryConcepts(g, 1)[0])
+	want := sequentialReference(t, e, []string{src})[src]
+
+	res, err := e.SubmitSource(context.Background(), src)
+	if err != nil {
+		t.Fatalf("query did not recover: %v", err)
+	}
+	if !sameNames(res.Names(0), want.names) || res.Time.String() != want.time {
+		t.Errorf("recovered result differs from sequential: %v / %v, want %v / %v",
+			res.Names(0), res.Time, want.names, want.time)
+	}
+	st := e.Stats()
+	if st.Retries == 0 {
+		t.Error("no retries recorded despite guaranteed first-attempt poison")
+	}
+	if st.RetriesExhausted != 0 {
+		t.Errorf("retry budget reported exhausted %d times", st.RetriesExhausted)
+	}
+}
+
+// TestRetryGivesUpAfterBudget: with an unlimited full-rate drop rule on
+// every replica, no attempt can succeed; Submit must fail with the
+// poison sentinel after exactly MaxAttempts tries, never hang.
+func TestRetryGivesUpAfterBudget(t *testing.T) {
+	g := fig15KB(t, 200)
+	plan := &fault.Plan{Seed: 7, Rules: []fault.Rule{
+		{Site: "icn-drop", Rate: 1},
+	}}
+	e := resilientEngine(t, g, plan,
+		WithReplicas(2),
+		WithRetryPolicy(RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond}),
+	)
+	src := inheritanceQuery(g, queryConcepts(g, 1)[0])
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, err := e.SubmitSource(ctx, src)
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("exhausted retries returned %v, want fault.ErrInjected", err)
+	}
+	st := e.Stats()
+	if st.RetriesExhausted != 1 {
+		t.Errorf("retries_exhausted = %d, want 1", st.RetriesExhausted)
+	}
+	if st.Retries != 2 {
+		t.Errorf("retries = %d, want 2 (attempts 2 and 3)", st.Retries)
+	}
+}
+
+// TestQuarantineAndReintegration walks the full replica lifecycle:
+// replica 0 wedges its first runs (bounded budget), times out, is
+// quarantined at the first failure, serves degraded from replica 1,
+// and is probed back into the ring once the wedge budget is spent.
+func TestQuarantineAndReintegration(t *testing.T) {
+	g := fig15KB(t, 200)
+	zero := 0
+	plan := &fault.Plan{Seed: 3, Rules: []fault.Rule{
+		{Site: "machine-wedge", Rate: 1, Count: 2, Replica: &zero},
+	}}
+	e := resilientEngine(t, g, plan,
+		WithReplicas(2),
+		// No result cache: every submission must reach a machine, so
+		// replica 0 is guaranteed to pick up a run eventually.
+		WithResultCache(-1),
+		WithQueryTimeout(50*time.Millisecond),
+		WithRetryPolicy(RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond}),
+		WithHealthPolicy(HealthPolicy{FailureThreshold: 1, ProbeInterval: 20 * time.Millisecond, ProbeSuccesses: 1, ProbeTimeout: 100 * time.Millisecond}),
+	)
+	srcs := make([]string, 0, 8)
+	for _, c := range queryConcepts(g, 8) {
+		srcs = append(srcs, inheritanceQuery(g, c))
+	}
+
+	// Submit until replica 0 trips its wedge and is quarantined. Work
+	// stealing may let replica 1 grab a given query first, so keep
+	// feeding distinct queries; replica 0 must run one eventually.
+	deadline := time.Now().Add(30 * time.Second)
+	for i := 0; e.Stats().Quarantines == 0; i++ {
+		if time.Now().After(deadline) {
+			t.Fatal("replica 0 never quarantined")
+		}
+		if _, err := e.SubmitSource(context.Background(), srcs[i%len(srcs)]); err != nil {
+			t.Fatalf("query %d failed: %v", i, err)
+		}
+	}
+
+	// While quarantined (or just after restore) the engine keeps serving.
+	rep := e.Health()
+	if rep.Replicas[0].Quarantines == 0 {
+		t.Errorf("health report shows no quarantine on replica 0: %+v", rep)
+	}
+	if _, err := e.SubmitSource(context.Background(), srcs[0]); err != nil {
+		t.Fatalf("degraded engine failed a query: %v", err)
+	}
+
+	// The wedge budget (2) is consumed by the query run plus at most one
+	// probe; the next probe passes and restores the replica.
+	for e.Stats().Restores == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("replica 0 never restored")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	rep = e.Health()
+	if rep.Status != "ok" {
+		t.Errorf("post-restore status = %q, want ok", rep.Status)
+	}
+	if rep.Replicas[0].State != "healthy" || rep.Replicas[0].Restores == 0 {
+		t.Errorf("replica 0 not restored: %+v", rep.Replicas[0])
+	}
+	st := e.Stats()
+	if st.Quarantines == 0 || st.Restores == 0 || st.Degraded {
+		t.Errorf("stats missed the lifecycle: %+v", st)
+	}
+}
+
+// TestFaultSoak is the acceptance scenario: a seeded plan with 1% ICN
+// drops everywhere plus one wedged replica. The engine must serve the
+// whole mixed-query suite with zero failures, every result bit-identical
+// to the fault-free sequential reference, and the health report must
+// show the wedged replica quarantined.
+func TestFaultSoak(t *testing.T) {
+	g := fig15KB(t, 400)
+	wedged := 2
+	plan := &fault.Plan{Seed: 1234, Rules: []fault.Rule{
+		{Site: "icn-drop", Rate: 0.01},
+		{Site: "machine-wedge", Rate: 1, Replica: &wedged},
+	}}
+	e := resilientEngine(t, g, plan,
+		WithReplicas(3),
+		// No result cache: all rounds hit real hardware under the plan.
+		WithResultCache(-1),
+		WithQueryTimeout(500*time.Millisecond),
+		WithRetryPolicy(RetryPolicy{MaxAttempts: 8, BaseBackoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond}),
+		// Probe interval beyond the test horizon: the wedged replica
+		// must still be quarantined when we read /v1/health state.
+		WithHealthPolicy(HealthPolicy{FailureThreshold: 1, ProbeInterval: time.Hour, ProbeSuccesses: 1}),
+	)
+	srcs := make([]string, 0, 16)
+	for _, c := range queryConcepts(g, 16) {
+		srcs = append(srcs, inheritanceQuery(g, c))
+	}
+	want := sequentialReference(t, e, srcs)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	const rounds = 4
+	errc := make(chan error, rounds*len(srcs))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := 0; r < rounds; r++ {
+			for _, src := range srcs {
+				res, err := e.SubmitSource(ctx, src)
+				if err != nil {
+					errc <- err
+					return
+				}
+				w := want[src]
+				if !sameNames(res.Names(0), w.names) || res.Time.String() != w.time {
+					errc <- errors.New("result diverged from fault-free reference: " + src)
+					return
+				}
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		t.Fatal("soak hung: queries stopped completing")
+	}
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+
+	rep := e.Health()
+	if rep.Status != "degraded" {
+		t.Errorf("soak health status = %q, want degraded", rep.Status)
+	}
+	if rep.Replicas[wedged].State != "quarantined" {
+		t.Errorf("replica %d state = %q, want quarantined", wedged, rep.Replicas[wedged].State)
+	}
+	st := e.Stats()
+	if st.HealthyReplicas != 2 || !st.Degraded {
+		t.Errorf("stats: healthy=%d degraded=%v, want 2/true", st.HealthyReplicas, st.Degraded)
+	}
+	if st.Failed != 0 && st.Retries == 0 {
+		t.Errorf("failures without retries: %+v", st)
+	}
+}

@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"snap1/internal/fault"
+	"snap1/internal/isa"
+	"snap1/internal/machine"
+	"snap1/internal/perfmon"
+)
+
+// RetryPolicy bounds re-execution of retryable query failures: runs
+// poisoned by injected faults and per-attempt timeouts. The zero value
+// of any field selects its default.
+type RetryPolicy struct {
+	// MaxAttempts is the total execution attempts per query, the first
+	// included; 1 disables retries (default 3).
+	MaxAttempts int
+	// BaseBackoff is the pause before the first retry; each further
+	// retry doubles it (default 2ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 100ms).
+	MaxBackoff time.Duration
+}
+
+// DefaultRetryPolicy returns the defaults Submit retries under.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseBackoff: 2 * time.Millisecond, MaxBackoff: 100 * time.Millisecond}
+}
+
+func (p RetryPolicy) normalized() RetryPolicy {
+	d := DefaultRetryPolicy()
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BaseBackoff == 0 {
+		p.BaseBackoff = d.BaseBackoff
+	}
+	if p.MaxBackoff == 0 {
+		p.MaxBackoff = d.MaxBackoff
+	}
+	return p
+}
+
+func (p RetryPolicy) validate() []error {
+	var errs []error
+	if p.MaxAttempts < 0 {
+		errs = append(errs, fmt.Errorf("Retry.MaxAttempts must be >= 0, got %d", p.MaxAttempts))
+	}
+	if p.BaseBackoff < 0 {
+		errs = append(errs, fmt.Errorf("Retry.BaseBackoff must be >= 0, got %v", p.BaseBackoff))
+	}
+	if p.MaxBackoff < 0 {
+		errs = append(errs, fmt.Errorf("Retry.MaxBackoff must be >= 0, got %v", p.MaxBackoff))
+	}
+	return errs
+}
+
+// backoff returns the pause before retry attempt (attempt >= 1):
+// exponential from BaseBackoff, capped at MaxBackoff, with ±25%
+// deterministic jitter derived from the query hash and attempt number —
+// reproducible runs, but collapsed retries of distinct queries still
+// decorrelate.
+func (p RetryPolicy) backoff(attempt int, h uint64) time.Duration {
+	d := p.BaseBackoff
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= p.MaxBackoff || d <= 0 {
+			d = p.MaxBackoff
+			break
+		}
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	x := h ^ uint64(attempt)*0x9e3779b97f4a7c15
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	frac := int64(x%1000) - 500 // [-500, 499] thousandths of ±50% → ±25%
+	return d + time.Duration(int64(d)*frac/2000)
+}
+
+// attemptRetryable reports whether a failed attempt may be re-executed:
+// a run poisoned by injected ICN corruption re-runs bit-identically
+// once unfaulted, and a per-attempt timeout may have been a wedged or
+// slowed replica that the shard rotation will route around.
+func attemptRetryable(err error) bool {
+	return errors.Is(err, fault.ErrInjected) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// executeRetry runs a query under the engine's deadline and retry
+// policies: each attempt gets its own QueryTimeout-bounded context, and
+// retryable failures re-execute (on a rotated shard) with exponential
+// backoff until the budget or the caller's context runs out.
+func (e *Engine) executeRetry(ctx context.Context, prog *isa.Program, h uint64) (*machine.Result, error) {
+	var lastErr error
+	for attempt := 0; attempt < e.cfg.Retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			t := time.NewTimer(e.cfg.Retry.backoff(attempt, h))
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			case <-e.done:
+				t.Stop()
+				return nil, ErrClosed
+			}
+			e.st.retry()
+			e.emit(-1, perfmon.EvQueryRetried, uint32(attempt), 0)
+		}
+		actx, cancel := ctx, context.CancelFunc(nil)
+		if e.cfg.QueryTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, e.cfg.QueryTimeout)
+		}
+		res, err := e.execute(actx, prog, h, attempt)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil || !attemptRetryable(err) {
+			return nil, err
+		}
+	}
+	e.st.retryExhausted()
+	return nil, lastErr
+}

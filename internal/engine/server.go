@@ -5,10 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"math"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
+	"snap1/internal/fault"
 	"snap1/internal/isa"
 	"snap1/internal/machine"
 )
@@ -53,42 +56,56 @@ type QueryResponse struct {
 	ServerMessage string            `json:"message,omitempty"`
 }
 
-type errorResponse struct {
-	Error string `json:"error"`
+// ErrorBody is the versioned error payload carried by every non-2xx
+// /v1/* response. Code is a stable machine-readable string; clients
+// branch on it (and on Retryable) rather than matching Message text.
+type ErrorBody struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	Retryable bool   `json:"retryable"`
+}
+
+// ErrorEnvelope wraps ErrorBody as the response document:
+//
+//	{"error":{"code":"overloaded","message":"...","retryable":true}}
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
 }
 
 // NewServer returns the engine's HTTP serving surface:
 //
 //	POST /v1/query  — run one SNAP assembly query (JSON or text/plain)
 //	GET  /v1/stats  — serving counters, per-stage latency, monitor state
+//	GET  /v1/health — per-replica quarantine state and overall status
 func NewServer(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", e.handleQuery)
 	mux.HandleFunc("/v1/stats", e.handleStats)
+	mux.HandleFunc("/v1/health", e.handleHealth)
 	return mux
 }
 
 func (e *Engine) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		writeErrorCode(w, http.StatusMethodNotAllowed, "method_not_allowed", false, errors.New("POST required"))
 		return
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeErrorCode(w, http.StatusBadRequest, "bad_request", false, err)
 		return
 	}
 	var req QueryRequest
 	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/json") {
 		if err := json.Unmarshal(body, &req); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeErrorCode(w, http.StatusBadRequest, "bad_request", false, err)
 			return
 		}
 	} else {
 		req.Program = string(body)
 	}
 	if strings.TrimSpace(req.Program) == "" {
-		writeError(w, http.StatusBadRequest, errors.New("empty program"))
+		writeErrorCode(w, http.StatusBadRequest, "bad_request", false, errors.New("empty program"))
 		return
 	}
 
@@ -101,18 +118,13 @@ func (e *Engine) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	prog, err := e.Compile(req.Program)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		e.writeError(w, err)
 		return
 	}
 	start := time.Now()
 	res, err := e.Submit(ctx, prog)
 	if err != nil {
-		if errors.Is(err, ErrOverloaded) {
-			// Shed by admission control: tell well-behaved clients when
-			// to come back instead of letting them hammer a full queue.
-			w.Header().Set("Retry-After", "1")
-		}
-		writeError(w, statusFor(err), err)
+		e.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, e.queryResponse(prog, res, time.Since(start)))
@@ -163,7 +175,7 @@ type MonitorStats struct {
 
 func (e *Engine) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		writeErrorCode(w, http.StatusMethodNotAllowed, "method_not_allowed", false, errors.New("GET required"))
 		return
 	}
 	resp := StatsResponse{Stats: e.Stats()}
@@ -173,19 +185,69 @@ func (e *Engine) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func statusFor(err error) int {
+// handleHealth answers GET /v1/health with the per-replica quarantine
+// report. A fully dark engine (every replica quarantined) answers 503 so
+// load balancers fail the instance over without parsing the body.
+func (e *Engine) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErrorCode(w, http.StatusMethodNotAllowed, "method_not_allowed", false, errors.New("GET required"))
+		return
+	}
+	rep := e.Health()
+	status := http.StatusOK
+	if rep.Status == "unavailable" {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, rep)
+}
+
+// classify maps an error from the compile/submit path onto its HTTP
+// status, stable envelope code, and retryability. Every sentinel the
+// engine can surface appears here; anything unrecognized is an opaque
+// internal error.
+func classify(err error) (status int, code string, retryable bool) {
 	switch {
 	case errors.Is(err, isa.ErrBadProgram):
-		return http.StatusBadRequest
+		return http.StatusBadRequest, "bad_program", false
+	case errors.Is(err, machine.ErrNoKB):
+		return http.StatusConflict, "kb_not_loaded", false
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusServiceUnavailable, "overloaded", true
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable, "shutting_down", false
+	case errors.Is(err, fault.ErrInjected):
+		return http.StatusServiceUnavailable, "fault_injected", true
 	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
+		return http.StatusGatewayTimeout, "timeout", true
 	case errors.Is(err, context.Canceled):
-		return 499 // client closed request
-	case errors.Is(err, ErrClosed), errors.Is(err, ErrOverloaded):
-		return http.StatusServiceUnavailable
+		return 499, "canceled", false // client closed request
 	default:
-		return http.StatusInternalServerError
+		return http.StatusInternalServerError, "internal", false
 	}
+}
+
+// retryAfterSeconds estimates when a shed client should come back:
+// current queue depth over the engine's lifetime drain rate, clamped to
+// [1, 60] seconds. A cold engine (nothing completed yet) answers 1.
+func (e *Engine) retryAfterSeconds() int {
+	depth := e.queued.Load()
+	if depth <= 0 {
+		return 1
+	}
+	done := e.st.completedCount()
+	elapsed := time.Since(e.start).Seconds()
+	if done == 0 || elapsed <= 0 {
+		return 1
+	}
+	rate := float64(done) / elapsed // queries per second
+	secs := int(math.Ceil(float64(depth) / rate))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -194,8 +256,22 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+// writeError classifies err and writes the typed envelope. Overload
+// sheds additionally carry a Retry-After estimated from the live queue
+// depth and drain rate, so well-behaved clients back off just long
+// enough instead of hammering a full queue.
+func (e *Engine) writeError(w http.ResponseWriter, err error) {
+	status, code, retryable := classify(err)
+	if code == "overloaded" {
+		w.Header().Set("Retry-After", strconv.Itoa(e.retryAfterSeconds()))
+	}
+	writeErrorCode(w, status, code, retryable, err)
+}
+
+// writeErrorCode writes the typed envelope for paths with no engine
+// sentinel to classify (malformed requests, wrong methods).
+func writeErrorCode(w http.ResponseWriter, status int, code string, retryable bool, err error) {
+	writeJSON(w, status, ErrorEnvelope{Error: ErrorBody{Code: code, Message: err.Error(), Retryable: retryable}})
 }
 
 func hashString(h uint64) string {

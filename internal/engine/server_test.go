@@ -2,14 +2,21 @@ package engine
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"snap1/internal/fault"
+	"snap1/internal/isa"
 	"snap1/internal/kbgen"
+	"snap1/internal/machine"
 	"snap1/internal/perfmon"
 )
 
@@ -36,9 +43,9 @@ func postQuery(t *testing.T, url, program string) QueryResponse {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		var e errorResponse
+		var e ErrorEnvelope
 		_ = json.NewDecoder(resp.Body).Decode(&e)
-		t.Fatalf("query status %d: %s", resp.StatusCode, e.Error)
+		t.Fatalf("query status %d: %s: %s", resp.StatusCode, e.Error.Code, e.Error.Message)
 	}
 	var out QueryResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
@@ -114,6 +121,111 @@ func TestServerRejectsBadProgram(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad program status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestErrorEnvelopeGolden pins the wire format of the versioned error
+// envelope byte-for-byte: key set, key order, and field types must not
+// drift, because clients branch on code/retryable rather than message.
+func TestErrorEnvelopeGolden(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeErrorCode(rec, http.StatusBadRequest, "bad_program", false, errors.New("boom"))
+	const want = `{"error":{"code":"bad_program","message":"boom","retryable":false}}` + "\n"
+	if got := rec.Body.String(); got != want {
+		t.Fatalf("envelope drifted:\n got  %q\n want %q", got, want)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+}
+
+// TestClassifySentinels pins the sentinel→(status, code, retryable)
+// mapping the whole error surface rests on.
+func TestClassifySentinels(t *testing.T) {
+	cases := []struct {
+		err       error
+		status    int
+		code      string
+		retryable bool
+	}{
+		{isa.ErrBadProgram, http.StatusBadRequest, "bad_program", false},
+		{machine.ErrNoKB, http.StatusConflict, "kb_not_loaded", false},
+		{ErrOverloaded, http.StatusServiceUnavailable, "overloaded", true},
+		{ErrClosed, http.StatusServiceUnavailable, "shutting_down", false},
+		{fault.ErrInjected, http.StatusServiceUnavailable, "fault_injected", true},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout, "timeout", true},
+		{context.Canceled, 499, "canceled", false},
+		{errors.New("mystery"), http.StatusInternalServerError, "internal", false},
+		// Wrapped sentinels must classify like the sentinel itself.
+		{fmt.Errorf("replica 2: %w", fault.ErrInjected), http.StatusServiceUnavailable, "fault_injected", true},
+	}
+	for _, c := range cases {
+		status, code, retryable := classify(c.err)
+		if status != c.status || code != c.code || retryable != c.retryable {
+			t.Errorf("classify(%v) = (%d, %q, %v), want (%d, %q, %v)",
+				c.err, status, code, retryable, c.status, c.code, c.retryable)
+		}
+	}
+}
+
+// TestRetryAfterComputed checks the overload Retry-After is derived from
+// queue depth and drain rate, not hardcoded.
+func TestRetryAfterComputed(t *testing.T) {
+	e := &Engine{start: time.Now().Add(-10 * time.Second)}
+	// 10 completed over ~10s ≈ 1 q/s; 30 queued => ~30s to drain
+	// (ceil of the true elapsed time may round one second up).
+	e.st.completed = 10
+	e.queued.Store(30)
+	if got := e.retryAfterSeconds(); got < 30 || got > 31 {
+		t.Errorf("retryAfterSeconds = %d, want ~30", got)
+	}
+	// Clamped to 60 even with a monster backlog.
+	e.queued.Store(1_000_000)
+	if got := e.retryAfterSeconds(); got != 60 {
+		t.Errorf("clamp high: %d, want 60", got)
+	}
+	// Cold engine: nothing completed yet, fall back to 1.
+	cold := &Engine{start: time.Now()}
+	cold.queued.Store(5)
+	if got := cold.retryAfterSeconds(); got != 1 {
+		t.Errorf("cold engine: %d, want 1", got)
+	}
+	// Overload responses must carry the header.
+	rec := httptest.NewRecorder()
+	e.writeError(rec, ErrOverloaded)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("overload status = %d", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "60" {
+		t.Errorf("Retry-After = %q, want \"60\"", ra)
+	}
+}
+
+// TestServerHealthEndpoint exercises GET /v1/health on a healthy engine.
+func TestServerHealthEndpoint(t *testing.T) {
+	_, srv := newTestServer(t, 400)
+	resp, err := http.Get(srv.URL + "/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("health status = %d, want 200", resp.StatusCode)
+	}
+	var rep HealthReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != "ok" {
+		t.Errorf("status = %q, want ok", rep.Status)
+	}
+	if len(rep.Replicas) != 2 {
+		t.Fatalf("replicas = %d, want 2", len(rep.Replicas))
+	}
+	for _, r := range rep.Replicas {
+		if r.State != "healthy" {
+			t.Errorf("replica %d state = %q", r.Rank, r.State)
+		}
 	}
 }
 

@@ -101,6 +101,17 @@ type Stats struct {
 	DedupedQueries  uint64 `json:"deduped_queries"`
 	ResultCacheSize int    `json:"result_cache_size"`
 
+	// Resilience counters: retries issued and queries whose retry
+	// budget ran out; replica quarantines and restorations; and the
+	// current serving capacity — HealthyReplicas in the shard ring,
+	// with Degraded true while any replica is quarantined.
+	Retries          uint64 `json:"retries"`
+	RetriesExhausted uint64 `json:"retries_exhausted"`
+	Quarantines      uint64 `json:"quarantines"`
+	Restores         uint64 `json:"restores"`
+	HealthyReplicas  int    `json:"healthy_replicas"`
+	Degraded         bool   `json:"degraded"`
+
 	// Per-stage wall-clock latency: assembly+rule compilation, submit
 	// queue residency, and execution (including collection).
 	Compile   LatencyHist `json:"compile_latency"`
@@ -126,6 +137,8 @@ type stats struct {
 	maxBatch                                         int
 	cacheHits, cacheMisses                           uint64
 	resultHits, resultMisses, deduped                uint64
+	retries, retriesExhausted                        uint64
+	quarantines, restores                            uint64
 
 	compileH, queueH, runH hist
 
@@ -197,6 +210,38 @@ func (s *stats) dedup() {
 	s.mu.Unlock()
 }
 
+func (s *stats) retry() {
+	s.mu.Lock()
+	s.retries++
+	s.mu.Unlock()
+}
+
+func (s *stats) retryExhausted() {
+	s.mu.Lock()
+	s.retriesExhausted++
+	s.mu.Unlock()
+}
+
+func (s *stats) quarantine() {
+	s.mu.Lock()
+	s.quarantines++
+	s.mu.Unlock()
+}
+
+func (s *stats) restore() {
+	s.mu.Lock()
+	s.restores++
+	s.mu.Unlock()
+}
+
+// completedCount reads the lifetime completed-query count (drain-rate
+// numerator for the Retry-After estimate).
+func (s *stats) completedCount() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.completed
+}
+
 func (s *stats) cacheMiss(d time.Duration) {
 	s.mu.Lock()
 	s.cacheMisses++
@@ -230,34 +275,40 @@ func (s *stats) event(code perfmon.EventCode) {
 	s.mu.Unlock()
 }
 
-func (s *stats) snapshot(queueDepth, idle, inFlight, resultEntries int) Stats {
+func (s *stats) snapshot(queueDepth, idle, inFlight, resultEntries, healthy int) Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := Stats{
-		Replicas:        s.replicas,
-		IdleReplicas:    idle,
-		QueueDepth:      queueDepth,
-		InFlight:        inFlight,
-		Submitted:       s.submitted,
-		Completed:       s.completed,
-		Failed:          s.failed,
-		Canceled:        s.canceled,
-		Rejected:        s.rejected,
-		Overloaded:      s.overloaded,
-		Batches:         s.batches,
-		BatchedQueries:  s.batchedQueries,
-		MaxBatchSize:    s.maxBatch,
-		Steals:          s.steals,
-		StolenQueries:   s.stolenQueries,
-		CompileHits:     s.cacheHits,
-		CompileMisses:   s.cacheMisses,
-		ResultHits:      s.resultHits,
-		ResultMisses:    s.resultMisses,
-		DedupedQueries:  s.deduped,
-		ResultCacheSize: resultEntries,
-		Compile:         s.compileH.snapshot(),
-		QueueWait:       s.queueH.snapshot(),
-		Run:             s.runH.snapshot(),
+		Replicas:         s.replicas,
+		IdleReplicas:     idle,
+		QueueDepth:       queueDepth,
+		InFlight:         inFlight,
+		Submitted:        s.submitted,
+		Completed:        s.completed,
+		Failed:           s.failed,
+		Canceled:         s.canceled,
+		Rejected:         s.rejected,
+		Overloaded:       s.overloaded,
+		Batches:          s.batches,
+		BatchedQueries:   s.batchedQueries,
+		MaxBatchSize:     s.maxBatch,
+		Steals:           s.steals,
+		StolenQueries:    s.stolenQueries,
+		CompileHits:      s.cacheHits,
+		CompileMisses:    s.cacheMisses,
+		ResultHits:       s.resultHits,
+		ResultMisses:     s.resultMisses,
+		DedupedQueries:   s.deduped,
+		ResultCacheSize:  resultEntries,
+		Retries:          s.retries,
+		RetriesExhausted: s.retriesExhausted,
+		Quarantines:      s.quarantines,
+		Restores:         s.restores,
+		HealthyReplicas:  healthy,
+		Degraded:         healthy < s.replicas,
+		Compile:          s.compileH.snapshot(),
+		QueueWait:        s.queueH.snapshot(),
+		Run:              s.runH.snapshot(),
 	}
 	if len(s.events) > 0 {
 		out.Events = make(map[string]uint64, len(s.events))

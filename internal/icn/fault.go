@@ -1,0 +1,123 @@
+package icn
+
+import (
+	"snap1/internal/fault"
+	"snap1/internal/timing"
+)
+
+// FaultHooks lets the machine layer keep its tiered-barrier accounting
+// balanced when the network injects faults. The termination protocol
+// counts every message Created before it enters the ICN and Consumed
+// after processing; a drop or duplication would skew that balance and
+// hang (or prematurely release) the global wait, so:
+//
+//   - Dropped is invoked when a message (or a duplicate) dies in
+//     transit — the simulated CU's integrity check notices the loss and
+//     acknowledges the message as consumed.
+//   - Created is invoked before a duplicate becomes visible, matching
+//     the create-before-send protocol rule.
+//   - Wake is invoked after a duplicate is enqueued, so the receiving
+//     cluster's quiescence wait notices the extra arrival.
+//
+// Any hook may be nil.
+type FaultHooks struct {
+	Created func(level uint16)
+	Dropped func(level uint16)
+	Wake    func(cluster int)
+}
+
+// SetFaultInjector arms deterministic per-message fault injection on
+// every send path (nil disarms). It must be called before traffic
+// flows; the injector is read without synchronization on the hot path.
+func (n *Network) SetFaultInjector(inj *fault.Injector, hooks FaultHooks) {
+	n.inj = inj
+	n.hooks = hooks
+}
+
+// FaultStats reports messages dropped, duplicated, and delayed by the
+// armed injector since construction.
+func (n *Network) FaultStats() (dropped, dupped, delayed int64) {
+	return n.dropped.Load(), n.dupped.Load(), n.delayed.Load()
+}
+
+// applyFaults draws this message's fault decisions. drop means the
+// message is lost in transit (the caller pretends the port transfer
+// succeeded); dup means a duplicate copy must also be enqueued — its
+// barrier Created has already been announced.
+func (n *Network) applyFaults(m *Message) (drop, dup bool) {
+	if n.inj.DropICN() {
+		n.dropped.Add(1)
+		if n.hooks.Dropped != nil {
+			n.hooks.Dropped(m.Level)
+		}
+		return true, false
+	}
+	if d, ok := n.inj.DelayICN(); ok {
+		n.delayed.Add(1)
+		m.SendTime += timing.Time(d)
+	}
+	if n.inj.DupICN() {
+		if n.hooks.Created != nil {
+			n.hooks.Created(m.Level)
+		}
+		return false, true
+	}
+	return false, false
+}
+
+// cancelDup retires a duplicate that was announced (Created) but could
+// not be enqueued: it dies in the port buffer like a drop.
+func (n *Network) cancelDup(level uint16) {
+	n.dropped.Add(1)
+	if n.hooks.Dropped != nil {
+		n.hooks.Dropped(level)
+	}
+}
+
+// sendFaulty is the injection-armed variant of Send/Forward/TrySend/
+// TryForward. block selects Put vs TryPut; forward selects which
+// traffic counter the transfer lands in.
+func (n *Network) sendFaulty(at int, m Message, forward, block bool) bool {
+	drop, dup := n.applyFaults(&m)
+	count := func() {
+		if forward {
+			n.forwarded.Add(1)
+		} else {
+			n.sent.Add(1)
+		}
+		n.hopTotal.Add(1)
+	}
+	if drop {
+		// Lost in transit: the sender's port transfer completed, so it
+		// proceeds as if delivered.
+		count()
+		return true
+	}
+	next := n.NextHop(at, int(m.DestCluster))
+	m.Hops++
+	ok := false
+	if block {
+		ok = n.mailbox[next].Put(m)
+	} else {
+		ok = n.mailbox[next].TryPut(m)
+	}
+	if !ok {
+		if dup {
+			n.cancelDup(m.Level)
+		}
+		return false
+	}
+	count()
+	if dup {
+		if n.mailbox[next].TryPut(m) {
+			n.dupped.Add(1)
+			count()
+			if n.hooks.Wake != nil {
+				n.hooks.Wake(next)
+			}
+		} else {
+			n.cancelDup(m.Level)
+		}
+	}
+	return true
+}

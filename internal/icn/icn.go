@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"snap1/internal/fault"
 	"snap1/internal/mpmem"
 	"snap1/internal/rules"
 	"snap1/internal/semnet"
@@ -65,6 +66,13 @@ type Network struct {
 	sent      atomic.Int64 // end-to-end messages injected
 	forwarded atomic.Int64 // intermediate relays
 	hopTotal  atomic.Int64 // total port-to-port transfers
+
+	// Fault injection (see fault.go); inj nil = no faults, zero cost.
+	inj     *fault.Injector
+	hooks   FaultHooks
+	dropped atomic.Int64
+	dupped  atomic.Int64
+	delayed atomic.Int64
 }
 
 // New returns a network for the given cluster count; each cluster's
@@ -149,6 +157,9 @@ func DimensionName(digit int) string {
 // next-hop cluster's mailbox. It blocks if that mailbox region is full and
 // reports false only if the network has been shut down.
 func (n *Network) Send(from int, m Message) bool {
+	if n.inj != nil {
+		return n.sendFaulty(from, m, false, true)
+	}
 	next := n.NextHop(from, int(m.DestCluster))
 	m.Hops++
 	n.sent.Add(1)
@@ -159,6 +170,9 @@ func (n *Network) Send(from int, m Message) bool {
 // Forward relays a transit message from an intermediate cluster toward its
 // destination (the CU disassembles and relays incoming transit messages).
 func (n *Network) Forward(at int, m Message) bool {
+	if n.inj != nil {
+		return n.sendFaulty(at, m, true, true)
+	}
 	next := n.NextHop(at, int(m.DestCluster))
 	m.Hops++
 	n.forwarded.Add(1)
@@ -170,6 +184,9 @@ func (n *Network) Forward(at int, m Message) bool {
 // change) when the next-hop mailbox region is full, letting the sender
 // service its own mailbox instead of deadlocking on mutually full buffers.
 func (n *Network) TrySend(from int, m Message) bool {
+	if n.inj != nil {
+		return n.sendFaulty(from, m, false, false)
+	}
 	next := n.NextHop(from, int(m.DestCluster))
 	m.Hops++
 	if !n.mailbox[next].TryPut(m) {
@@ -183,6 +200,9 @@ func (n *Network) TrySend(from int, m Message) bool {
 // TryForward is Forward without blocking, with the same contract as
 // TrySend.
 func (n *Network) TryForward(at int, m Message) bool {
+	if n.inj != nil {
+		return n.sendFaulty(at, m, true, false)
+	}
 	next := n.NextHop(at, int(m.DestCluster))
 	m.Hops++
 	if !n.mailbox[next].TryPut(m) {
@@ -216,6 +236,18 @@ func (n *Network) TryRecvBatch(c int, buf []Message) int {
 // mailbox and retry — the same non-blocking contract as TrySend. All
 // messages are new injections (they count toward the sent statistic).
 func (n *Network) TrySendBatch(from int, msgs []Message) int {
+	if n.inj != nil {
+		// Per-message decisions are required under injection; the
+		// burst-grant fast path would skip them.
+		sent := 0
+		for sent < len(msgs) {
+			if !n.sendFaulty(from, msgs[sent], false, false) {
+				break
+			}
+			sent++
+		}
+		return sent
+	}
 	sent := 0
 	for sent < len(msgs) {
 		next := n.NextHop(from, int(msgs[sent].DestCluster))

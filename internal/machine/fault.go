@@ -1,0 +1,92 @@
+package machine
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"snap1/internal/fault"
+	"snap1/internal/icn"
+	"snap1/internal/perfmon"
+)
+
+// SetFaultInjector arms deterministic fault injection on this machine's
+// simulated hardware: ICN message drop/duplication/delay, multiport-
+// memory arbiter stalls, and whole-run wedges/slowdowns (nil disarms).
+// Injection decisions are drawn from the injector's seeded streams, so a
+// lockstep (Deterministic) run under a plan is bit-reproducible.
+//
+// The ICN hooks keep the tiered-barrier accounting balanced: a dropped
+// message is acknowledged as consumed (the CU's integrity check detects
+// the loss), a duplicate is announced as created before it becomes
+// visible, and the duplicate's receiver is woken. Any run whose ICN
+// traffic was corrupted fails with an error wrapping fault.ErrInjected
+// rather than returning silently wrong markers.
+//
+// Must be called while the machine is idle (no run in progress).
+func (m *Machine) SetFaultInjector(inj *fault.Injector) {
+	m.inj = inj
+	if inj == nil {
+		m.net.SetFaultInjector(nil, icn.FaultHooks{})
+		for _, c := range m.clusters {
+			c.arb.SetFaultInjector(nil)
+		}
+		return
+	}
+	if mon := m.cfg.Monitor; mon != nil {
+		// Timestamp 0: the controller clock is not safe to read from
+		// concurrent-phase workers; the collector's per-PE serial-link
+		// serialization keeps arrival order deterministic regardless.
+		inj.SetHook(func(site fault.Site) {
+			mon.Emit(-1, perfmon.EvFaultInjected, uint32(site), 0)
+		})
+	}
+	m.net.SetFaultInjector(inj, icn.FaultHooks{
+		Created: func(lvl uint16) { m.bar.Created(int(lvl)) },
+		Dropped: func(lvl uint16) { m.bar.Consumed(int(lvl)) },
+		Wake:    func(cl int) { m.bar.Wake(cl) },
+	})
+	for _, c := range m.clusters {
+		c.arb.SetFaultInjector(inj)
+	}
+}
+
+// FaultInjector returns the armed injector (nil when faults are off).
+func (m *Machine) FaultInjector() *fault.Injector { return m.inj }
+
+// injectRunFaults applies whole-run fault decisions at run entry: a
+// wedge holds the machine unresponsive until the caller's deadline; a
+// slowdown stalls the response in host time.
+func (m *Machine) injectRunFaults(ctx context.Context) error {
+	inj := m.inj
+	if inj == nil {
+		return nil
+	}
+	if inj.WedgeRun() {
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	if d := inj.SlowRun(); d > 0 {
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// poisonIfCorrupted fails a completed run whose ICN traffic suffered
+// corrupting injections since the given snapshot; the error is
+// retryable, and an unfaulted re-run returns the bit-identical result.
+func (m *Machine) poisonIfCorrupted(before int64) error {
+	if m.inj == nil {
+		return nil
+	}
+	if n := m.inj.Corrupting() - before; n > 0 {
+		return fmt.Errorf("machine: %d ICN message(s) corrupted during run: %w", n, fault.ErrInjected)
+	}
+	return nil
+}

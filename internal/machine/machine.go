@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"snap1/internal/barrier"
+	"snap1/internal/fault"
 	"snap1/internal/icn"
 	"snap1/internal/isa"
 	"snap1/internal/partition"
@@ -36,6 +37,10 @@ type Machine struct {
 	workers *workerPool
 
 	curRules *rules.Table // rule microcode for the program being run
+
+	// inj, when armed, injects deterministic hardware faults into runs
+	// (see SetFaultInjector). Clones start unarmed.
+	inj *fault.Injector
 }
 
 // New constructs a machine from cfg. A knowledge base must be loaded with
@@ -106,6 +111,10 @@ func (m *Machine) LoadKB(kb *semnet.KB) error {
 	// it so the next concurrent phase starts workers over the new one.
 	m.Close()
 	m.kb, m.assign, m.localIdx, m.clusters = kb, assign, localIdx, clusters
+	// The fresh clusters carry unarmed arbiters; rewire the injector.
+	if m.inj != nil {
+		m.SetFaultInjector(m.inj)
+	}
 	return nil
 }
 
@@ -221,6 +230,10 @@ func (m *Machine) RunContext(ctx context.Context, prog *isa.Program) (*Result, e
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
+	if err := m.injectRunFaults(ctx); err != nil {
+		return nil, err
+	}
+	corruptBefore := m.inj.Corrupting()
 	m.resetClocks()
 	m.curRules = prog.Rules
 	st := &runState{
@@ -258,6 +271,9 @@ func (m *Machine) RunContext(ctx context.Context, prog *isa.Program) (*Result, e
 	st.prof.Elapsed = end
 	st.res.Time = end
 	st.res.Profile = st.prof
+	if err := m.poisonIfCorrupted(corruptBefore); err != nil {
+		return nil, err
+	}
 	return st.res, nil
 }
 

@@ -422,7 +422,25 @@ func (m *Machine) lockstepTask(c *cluster, t task, perLevel *[]int64, total *int
 		hops := m.net.Hops(c.id, dest)
 		transit := timing.Time(hops)*m.cost.HopLatency + timing.Time(hops-1)*asm
 		dc := m.clusters[dest]
-		ready := dc.cuRun(sendEnd+transit, asm)
+
+		// The lockstep engine bypasses the live ICN, so the per-message
+		// fault decisions are drawn here: a drop means the message left
+		// the sender and died in transit (copies=0), a duplicate is
+		// delivered twice, a delay lengthens the transit. Any of these
+		// poisons the run via RunContext's corruption check.
+		copies := 1
+		if inj := m.inj; inj != nil {
+			if inj.DropICN() {
+				copies = 0
+			} else {
+				if d, ok := inj.DelayICN(); ok {
+					transit += timing.Time(d)
+				}
+				if inj.DupICN() {
+					copies = 2
+				}
+			}
+		}
 
 		c.stats.sends++
 		c.stats.comm += m.cost.PECost(cuCycles) + transit + asm
@@ -432,16 +450,19 @@ func (m *Machine) lockstepTask(c *cluster, t task, perLevel *[]int64, total *int
 		}
 		(*perLevel)[ch.level]++
 
-		dc.pushTask(task{
-			local:  m.localIdx[ch.to],
-			marker: t.marker,
-			rule:   t.rule,
-			state:  ch.state,
-			fn:     t.fn,
-			value:  ch.value,
-			origin: t.origin,
-			level:  ch.level,
-			ready:  ready,
-		})
+		for k := 0; k < copies; k++ {
+			ready := dc.cuRun(sendEnd+transit, asm)
+			dc.pushTask(task{
+				local:  m.localIdx[ch.to],
+				marker: t.marker,
+				rule:   t.rule,
+				state:  ch.state,
+				fn:     t.fn,
+				value:  ch.value,
+				origin: t.origin,
+				level:  ch.level,
+				ready:  ready,
+			})
+		}
 	}
 }

@@ -16,6 +16,9 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"snap1/internal/fault"
 )
 
 // NumPorts is the port count of one four-port memory.
@@ -33,7 +36,16 @@ type Arbiter struct {
 
 	grants    int64
 	contended int64
+
+	// inj, when armed, may stall a grant request (host time only; the
+	// virtual-time model is unaffected). Set before traffic flows.
+	inj *fault.Injector
 }
+
+// SetFaultInjector arms deterministic arbiter-stall injection (nil
+// disarms). It must be called before the first Acquire; the injector is
+// read without synchronization on the grant path.
+func (a *Arbiter) SetFaultInjector(inj *fault.Injector) { a.inj = inj }
 
 // NewArbiter returns an arbiter whose simultaneous-request tie-break is
 // driven by the given seed, keeping contention behaviour reproducible.
@@ -43,6 +55,11 @@ func NewArbiter(seed int64) *Arbiter {
 
 // Acquire blocks until the arbiter grants exclusive access.
 func (a *Arbiter) Acquire() {
+	if inj := a.inj; inj != nil {
+		if d := inj.StallArb(); d > 0 {
+			time.Sleep(d)
+		}
+	}
 	a.mu.Lock()
 	if !a.busy {
 		a.busy = true

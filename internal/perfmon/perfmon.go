@@ -41,6 +41,13 @@ const (
 	EvWorkSteal     // status: batch size stolen from a loaded shard
 	EvQueryShed     // status: in-flight count at admission rejection
 	EvResultHit     // status: low 24 bits of the cached virtual time
+
+	// Resilience events, emitted by the fault layer and the engine's
+	// health machinery.
+	EvFaultInjected      // status: fault site index
+	EvReplicaQuarantined // status: consecutive timeouts at quarantine
+	EvQueryRetried       // status: attempt number of the retry
+	EvReplicaRestored    // status: probe successes at restoration
 )
 
 func (e EventCode) String() string {
@@ -77,6 +84,14 @@ func (e EventCode) String() string {
 		return "query-shed"
 	case EvResultHit:
 		return "result-hit"
+	case EvFaultInjected:
+		return "fault-injected"
+	case EvReplicaQuarantined:
+		return "replica-quarantined"
+	case EvQueryRetried:
+		return "query-retried"
+	case EvReplicaRestored:
+		return "replica-restored"
 	default:
 		return "none"
 	}

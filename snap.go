@@ -40,6 +40,7 @@ package snap1
 
 import (
 	"snap1/internal/engine"
+	"snap1/internal/fault"
 	"snap1/internal/isa"
 	"snap1/internal/machine"
 	"snap1/internal/rules"
@@ -106,6 +107,18 @@ type (
 	EngineStats = engine.Stats
 	// EngineOption configures NewEngine.
 	EngineOption = engine.Option
+	// RetryPolicy bounds re-execution of retryable query failures
+	// (injected faults, per-attempt timeouts).
+	RetryPolicy = engine.RetryPolicy
+	// HealthPolicy governs replica quarantine and reintegration.
+	HealthPolicy = engine.HealthPolicy
+	// EngineHealth is the engine's per-replica quarantine report.
+	EngineHealth = engine.HealthReport
+	// FaultPlan is a declarative, seeded fault-injection schedule for
+	// the simulated hardware (see internal/fault and docs/RESILIENCE.md).
+	FaultPlan = fault.Plan
+	// FaultRule is one site's injection schedule within a FaultPlan.
+	FaultRule = fault.Rule
 )
 
 // NewKB returns an empty knowledge base.
@@ -189,6 +202,18 @@ var (
 	WithMachineOptions = engine.WithMachineOptions
 	// WithEngineMonitor attaches a performance-collection board to the engine.
 	WithEngineMonitor = engine.WithMonitor
+	// WithQueryTimeout bounds each execution attempt of a query.
+	WithQueryTimeout = engine.WithQueryTimeout
+	// WithRetryPolicy bounds automatic re-execution of retryable
+	// failures (injected faults, per-attempt timeouts).
+	WithRetryPolicy = engine.WithRetryPolicy
+	// WithHealthPolicy tunes replica quarantine and reintegration.
+	WithHealthPolicy = engine.WithHealthPolicy
+	// WithFaultPlan arms deterministic, seeded fault injection in every
+	// pool replica's simulated hardware.
+	WithFaultPlan = engine.WithFaultPlan
+	// LoadFaultPlan reads and validates a JSON fault plan from a file.
+	LoadFaultPlan = fault.Load
 )
 
 // Marker function codes.

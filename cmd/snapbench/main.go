@@ -19,12 +19,21 @@
 //
 //	go run ./cmd/snapbench -kernel-o BENCH_KERNEL.json
 //
+// With -partition-o it scores every partitioning strategy (and the
+// refined strategy with hop-aware placement) on the 6K-node MUC-4-style
+// knowledge base — link cut ratio, weighted hop cost, partition time,
+// and machine bring-up time — and writes BENCH_PARTITION.json:
+//
+//	go run ./cmd/snapbench -partition-o BENCH_PARTITION.json
+//
 // -fence-hot-allocs N makes the run fail if the steady-state hot
 // serving path (16 replicas, result-cache hits) allocates more than N
 // times per query — the CI regression fence for the serving layer.
 // -fence-kernel-allocs N likewise fails the run if any store kernel
 // allocates more than N times per op (the kernels are expected to stay
-// at exactly zero).
+// at exactly zero). -fence-partition-cut F fails the run unless the
+// refined strategy's cut ratio undercuts semantic's by at least the
+// fraction F (CI uses 0.30).
 //
 // See docs/PERF.md for the measurement methodology and the history of
 // what these numbers looked like before the host hot-path overhaul.
@@ -40,11 +49,13 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"snap1/internal/engine"
 	"snap1/internal/isa"
 	"snap1/internal/kbgen"
 	"snap1/internal/machine"
+	"snap1/internal/partition"
 	"snap1/internal/rules"
 	"snap1/internal/semnet"
 )
@@ -78,8 +89,10 @@ func main() {
 	out := flag.String("o", "", "write the JSON report to this file (default: stdout)")
 	engineOut := flag.String("engine-o", "", "also run the sharded engine suite and write its JSON report here")
 	kernelOut := flag.String("kernel-o", "", "also run the store-kernel suite and write its JSON report here")
+	partitionOut := flag.String("partition-o", "", "also score the partition strategies and write their JSON report here")
 	fence := flag.Int64("fence-hot-allocs", -1, "fail if the hot serving path at 16 replicas exceeds this allocs/query (-1 disables)")
 	kernelFence := flag.Int64("fence-kernel-allocs", -1, "fail if any store kernel exceeds this allocs/op (-1 disables)")
+	partitionFence := flag.Float64("fence-partition-cut", -1, "fail unless refined beats semantic's cut ratio by at least this fraction (-1 disables)")
 	benchtime := flag.Duration("benchtime", 0, "minimum run time per benchmark (0 = testing default of 1s)")
 	flag.Parse()
 	if *benchtime > 0 {
@@ -90,25 +103,33 @@ func main() {
 	}
 
 	// The propagate report keeps its historical default (stdout); it is
-	// skipped only when the run asks solely for the engine or kernel
-	// report.
-	if *out != "" || (*engineOut == "" && *kernelOut == "") {
+	// skipped only when the run asks solely for the engine, kernel, or
+	// partition report.
+	if *out != "" || (*engineOut == "" && *kernelOut == "" && *partitionOut == "") {
 		rep := Report{
 			GoVersion:  runtime.Version(),
 			GOOS:       runtime.GOOS,
 			GOARCH:     runtime.GOARCH,
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
-			Workload:   "chains: alpha=256 depth-10, PaperConfig (16 clusters), PATH/add propagation; dense: 6K-node MUC-4-style KB, SET-MARKER frontier (every node a source)",
+			Workload:   "chains: alpha=256 depth-10, PaperConfig (16 clusters), PATH/add propagation; dense: 6K-node MUC-4-style KB, SET-MARKER frontier (every node a source); dense_refined: same KB under the refined partition + hop-aware placement",
 		}
 		for _, eng := range []struct {
 			name string
 			det  bool
 		}{{"propagate_phase/concurrent", false}, {"propagate_phase/lockstep", true}} {
+			suffix := eng.name[len("propagate_phase/"):]
 			rep.Results = append(rep.Results, toResult(eng.name, testing.Benchmark(phaseBench(eng.det))))
-			rep.Results = append(rep.Results, toResult("propagate_phase/dense/"+eng.name[len("propagate_phase/"):], testing.Benchmark(densePhaseBench(eng.det))))
+			rep.Results = append(rep.Results, toResult("propagate_phase/dense/"+suffix, testing.Benchmark(densePhaseBench(eng.det))))
+			rep.Results = append(rep.Results, toResult("propagate_phase/dense_refined/"+suffix,
+				testing.Benchmark(densePhaseBench(eng.det,
+					machine.WithPartitionFunc(partition.Refined), machine.WithPlacement(true)))))
 		}
 		rep.Results = append(rep.Results, toResult("engine_throughput", testing.Benchmark(throughputBench)))
 		writeReport(rep, *out)
+	}
+
+	if *partitionOut != "" || *partitionFence >= 0 {
+		runPartitionSuite(*partitionOut, *partitionFence)
 	}
 
 	if *kernelOut != "" {
@@ -211,8 +232,9 @@ func phaseBench(det bool) func(b *testing.B) {
 
 // densePhaseBench mirrors BenchmarkPropagatePhase/dense: a MUC-4-style
 // generated knowledge base with SET-MARKER making every node a source,
-// so the frontier scan is fully dense.
-func densePhaseBench(det bool) func(b *testing.B) {
+// so the frontier scan is fully dense. Extra machine options select the
+// partition/placement variant.
+func densePhaseBench(det bool, opts ...machine.Option) func(b *testing.B) {
 	return func(b *testing.B) {
 		g, err := kbgen.Generate(kbgen.Params{Nodes: 6000, Seed: 42, WithDomain: true})
 		if err != nil {
@@ -223,13 +245,14 @@ func densePhaseBench(det bool) func(b *testing.B) {
 		p.Set(0, 0)
 		p.Propagate(0, 1, rules.Path(g.Rel.IsA), semnet.FuncAdd)
 		p.Barrier()
-		phaseRun(b, det, g.KB, p)
+		phaseRun(b, det, g.KB, p, opts...)
 	}
 }
 
-func phaseRun(b *testing.B, det bool, kb *semnet.KB, p *isa.Program) {
+func phaseRun(b *testing.B, det bool, kb *semnet.KB, p *isa.Program, opts ...machine.Option) {
 	cfg := machine.PaperConfig()
 	cfg.Deterministic = det
+	cfg = machine.ApplyOptions(cfg, opts...)
 	if need := (kb.NumNodes() + cfg.Clusters - 1) / cfg.Clusters; need > cfg.NodesPerCluster {
 		cfg.NodesPerCluster = need
 	}
@@ -261,6 +284,132 @@ func phaseRun(b *testing.B, det bool, kb *semnet.KB, p *isa.Program) {
 	if tasks > 0 {
 		b.ReportMetric(float64(tasks), "tasks/phase")
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(tasks), "ns/task")
+	}
+}
+
+// PartitionResult is one strategy's score in BENCH_PARTITION.json.
+type PartitionResult struct {
+	Strategy    string  `json:"strategy"`
+	CutRatio    float64 `json:"cut_ratio"`
+	HopCost     float64 `json:"hop_cost"`
+	PartitionMs float64 `json:"partition_ms"`
+	BringUpMs   float64 `json:"bringup_ms"`
+}
+
+// PartitionReport is the full BENCH_PARTITION.json document.
+type PartitionReport struct {
+	GoVersion  string            `json:"go_version"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Workload   string            `json:"workload"`
+	Results    []PartitionResult `json:"results"`
+}
+
+// runPartitionSuite scores every strategy on the canonical 6K-node
+// MUC-4-style knowledge base at the paper's 16-cluster configuration:
+// link cut ratio, weighted hop cost (mean hops per link), partitioning
+// wall time, and full machine bring-up (New + LoadKB) wall time. The
+// "refined+place" row is the refined partition followed by the
+// hop-aware placement stage — identical cut, lower hop cost.
+func runPartitionSuite(path string, fenceFrac float64) {
+	g, err := kbgen.Generate(kbgen.Params{Nodes: 6000, Seed: 42, WithDomain: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	kb := g.KB
+	kb.Preprocess()
+	cfg := machine.PaperConfig()
+	if need := (kb.NumNodes() + cfg.Clusters - 1) / cfg.Clusters; need > cfg.NodesPerCluster {
+		cfg.NodesPerCluster = need
+	}
+
+	rep := PartitionReport{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workload: fmt.Sprintf("6K-node MUC-4-style KB (%d nodes, %d links post-preprocess), %d clusters x %d capacity",
+			kb.NumNodes(), kb.NumLinks(), cfg.Clusters, cfg.NodesPerCluster),
+	}
+
+	strategies := []struct {
+		name  string
+		fn    partition.Func
+		place bool
+	}{
+		{"sequential", partition.Sequential, false},
+		{"round-robin", partition.RoundRobin, false},
+		{"semantic", partition.Semantic, false},
+		{"refined", partition.Refined, false},
+		{"refined+place", partition.Refined, true},
+	}
+	cuts := map[string]float64{}
+	for _, s := range strategies {
+		// Partition time: best of a few runs, so the score is the
+		// strategy's cost rather than a scheduling hiccup.
+		var a partition.Assignment
+		partNs := int64(1 << 62)
+		for i := 0; i < 5; i++ {
+			start := time.Now()
+			a, err = s.fn(kb, cfg.Clusters, cfg.NodesPerCluster)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if s.place {
+				a = partition.Place(kb, a, cfg.Clusters)
+			}
+			if d := time.Since(start).Nanoseconds(); d < partNs {
+				partNs = d
+			}
+		}
+
+		bringNs := int64(1 << 62)
+		for i := 0; i < 3; i++ {
+			mcfg := cfg
+			mcfg.Partition = s.fn
+			mcfg.Placement = s.place
+			start := time.Now()
+			m, err := machine.New(mcfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := m.LoadKB(kb); err != nil {
+				log.Fatal(err)
+			}
+			if d := time.Since(start).Nanoseconds(); d < bringNs {
+				bringNs = d
+			}
+			m.Close()
+		}
+
+		cut := partition.CutRatio(kb, a)
+		cuts[s.name] = cut
+		rep.Results = append(rep.Results, PartitionResult{
+			Strategy:    s.name,
+			CutRatio:    cut,
+			HopCost:     partition.HopCost(kb, a, cfg.Clusters),
+			PartitionMs: float64(partNs) / 1e6,
+			BringUpMs:   float64(bringNs) / 1e6,
+		})
+	}
+
+	if path != "" {
+		enc, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	if fenceFrac >= 0 {
+		sem, ref := cuts["semantic"], cuts["refined"]
+		if ref > sem*(1-fenceFrac) {
+			log.Fatalf("partition fence: refined cut ratio %.4f does not beat semantic %.4f by %.0f%%",
+				ref, sem, fenceFrac*100)
+		}
 	}
 }
 

@@ -73,7 +73,8 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 0, "in-flight query ceiling, 0 = no ceiling beyond -queue-cap")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight queries")
 	clusters := flag.Int("clusters", 16, "cluster count per replica")
-	part := flag.String("partition", "semantic", "partitioning: sequential, round-robin, or semantic")
+	part := flag.String("partition", "semantic", "partitioning: sequential, round-robin, semantic, or refined")
+	place := flag.Bool("place", false, "follow partitioning with hop-aware hypercube placement")
 	monCap := flag.Int("monitor", 4096, "perfmon FIFO capacity (0 disables)")
 	faultPlan := flag.String("fault-plan", "", "seeded fault-injection plan (JSON file; see docs/RESILIENCE.md)")
 	queryTimeout := flag.Duration("query-timeout", 10*time.Second, "per-attempt query deadline (0 disables)")
@@ -98,6 +99,7 @@ func main() {
 			machine.WithClusters(*clusters),
 			machine.WithMarkerUnits(2, 0),
 			machine.WithPartition(*part),
+			machine.WithPlacement(*place),
 			machine.WithDeterministic(true),
 		),
 	}

@@ -38,7 +38,8 @@ func main() {
 	seed := flag.Int64("seed", 42, "generation seed")
 	clusters := flag.Int("clusters", 16, "cluster count")
 	mus := flag.Int("mus", 2, "marker units per cluster")
-	part := flag.String("partition", "semantic", "partitioning: sequential, round-robin, or semantic")
+	part := flag.String("partition", "semantic", "partitioning: sequential, round-robin, semantic, or refined")
+	place := flag.Bool("place", false, "follow partitioning with hop-aware hypercube placement")
 	det := flag.Bool("det", true, "use the deterministic measurement engine")
 	verbose := flag.Bool("v", false, "print the instruction profile")
 	repeat := flag.Int("repeat", 1, "run the program N times (markers cleared between runs; useful with profiling)")
@@ -70,6 +71,7 @@ func main() {
 		machine.WithClusters(*clusters),
 		machine.WithMarkerUnits(*mus, 0),
 		machine.WithPartition(*part),
+		machine.WithPlacement(*place),
 		machine.WithDeterministic(*det),
 		machine.WithCapacityFor(kb.NumNodes()))
 	if err != nil {

@@ -629,6 +629,9 @@ func (e *Engine) runBatch(rank int, m *machine.Machine, batch []*request) {
 		switch {
 		case err == nil:
 			e.noteSuccess(rank)
+			if p := res.Profile; p != nil {
+				e.st.icn(p.PropMessages, p.PropHops, p.SendBursts)
+			}
 			e.emit(rank, perfmon.EvQueryDone, uint32(res.Time), res.Time)
 		case errors.Is(err, context.DeadlineExceeded):
 			// A deadline blown on this replica — possibly a wedged or

@@ -112,6 +112,16 @@ type Stats struct {
 	HealthyReplicas  int    `json:"healthy_replicas"`
 	Degraded         bool   `json:"degraded"`
 
+	// Interconnect locality counters, summed over every successfully
+	// served query's profile: inter-cluster marker activations, the
+	// port-to-port hypercube transfers that carried them, and the
+	// coalesced same-next-hop send groups those activations rode in.
+	// ICNHops/ICNMessages is the served workload's mean hop distance —
+	// the figure the partition placement stage drives toward 1.
+	ICNMessages uint64 `json:"icn_messages"`
+	ICNHops     uint64 `json:"icn_hops"`
+	ICNBursts   uint64 `json:"icn_send_bursts"`
+
 	// Per-stage wall-clock latency: assembly+rule compilation, submit
 	// queue residency, and execution (including collection).
 	Compile   LatencyHist `json:"compile_latency"`
@@ -139,6 +149,7 @@ type stats struct {
 	resultHits, resultMisses, deduped                uint64
 	retries, retriesExhausted                        uint64
 	quarantines, restores                            uint64
+	icnMessages, icnHops, icnBursts                  uint64
 
 	compileH, queueH, runH hist
 
@@ -234,6 +245,15 @@ func (s *stats) restore() {
 	s.mu.Unlock()
 }
 
+// icn accumulates a served query's interconnect traffic profile.
+func (s *stats) icn(messages, hops, bursts int64) {
+	s.mu.Lock()
+	s.icnMessages += uint64(messages)
+	s.icnHops += uint64(hops)
+	s.icnBursts += uint64(bursts)
+	s.mu.Unlock()
+}
+
 // completedCount reads the lifetime completed-query count (drain-rate
 // numerator for the Retry-After estimate).
 func (s *stats) completedCount() uint64 {
@@ -304,6 +324,9 @@ func (s *stats) snapshot(queueDepth, idle, inFlight, resultEntries, healthy int)
 		RetriesExhausted: s.retriesExhausted,
 		Quarantines:      s.quarantines,
 		Restores:         s.restores,
+		ICNMessages:      s.icnMessages,
+		ICNHops:          s.icnHops,
+		ICNBursts:        s.icnBursts,
 		HealthyReplicas:  healthy,
 		Degraded:         healthy < s.replicas,
 		Compile:          s.compileH.snapshot(),

@@ -21,11 +21,13 @@ import (
 type PartitionRow struct {
 	Name     string
 	Cut      float64 // fraction of links crossing clusters
+	HopCost  float64 // mean hypercube hops per link
 	Messages int64   // inter-cluster marker activations
+	Hops     int64   // port-to-port transfers those activations took
 	Time     timing.Time
 }
 
-// PartitionResult compares the three partitioning functions.
+// PartitionResult compares the partitioning functions.
 type PartitionResult struct {
 	Rows []PartitionRow
 }
@@ -35,15 +37,19 @@ type PartitionResult struct {
 func AblationPartition() (*PartitionResult, error) {
 	out := &PartitionResult{}
 	for _, s := range []struct {
-		name string
-		f    partition.Func
+		name  string
+		f     partition.Func
+		place bool
 	}{
-		{"sequential", partition.Sequential},
-		{"round-robin", partition.RoundRobin},
-		{"semantic", partition.Semantic},
+		{"sequential", partition.Sequential, false},
+		{"round-robin", partition.RoundRobin, false},
+		{"semantic", partition.Semantic, false},
+		{"refined", partition.Refined, false},
+		{"refined+place", partition.Refined, true},
 	} {
 		cfg := machine.PaperConfig()
 		cfg.Partition = s.f
+		cfg.Placement = s.place
 		m, g, err := nluSetup(4000, 16, cfg)
 		if err != nil {
 			return nil, err
@@ -51,6 +57,9 @@ func AblationPartition() (*PartitionResult, error) {
 		assign, err := s.f(g.KB, 16, 1024*1024)
 		if err != nil {
 			return nil, err
+		}
+		if s.place {
+			assign = partition.Place(g.KB, assign, 16)
 		}
 		p := newParser(m, g)
 		prof, _, err := parseBatch(p, g, 1)
@@ -60,7 +69,9 @@ func AblationPartition() (*PartitionResult, error) {
 		out.Rows = append(out.Rows, PartitionRow{
 			Name:     s.name,
 			Cut:      partition.CutRatio(g.KB, assign),
+			HopCost:  partition.HopCost(g.KB, assign, 16),
 			Messages: prof.PropMessages,
+			Hops:     prof.PropHops,
 			Time:     prof.Elapsed,
 		})
 	}
@@ -69,13 +80,15 @@ func AblationPartition() (*PartitionResult, error) {
 
 // String renders the comparison.
 func (r *PartitionResult) String() string {
-	header := []string{"Partition", "Link cut", "ICN messages", "Parse batch time"}
+	header := []string{"Partition", "Link cut", "Hop cost", "ICN messages", "ICN hops", "Parse batch time"}
 	var rows [][]string
 	for _, row := range r.Rows {
 		rows = append(rows, []string{
 			row.Name,
 			fmt.Sprintf("%.1f%%", row.Cut*100),
+			fmt.Sprintf("%.2f", row.HopCost),
 			fmt.Sprint(row.Messages),
+			fmt.Sprint(row.Hops),
 			row.Time.String(),
 		})
 	}

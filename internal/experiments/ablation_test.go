@@ -27,6 +27,20 @@ func TestAblationPartition(t *testing.T) {
 		t.Errorf("semantic messages %d >= round-robin %d",
 			byName["semantic"].Messages, byName["round-robin"].Messages)
 	}
+	// The refinement pass must improve on plain semantic BFS growth, and
+	// the placement stage must not worsen the mean hop distance.
+	if byName["refined"].Cut >= byName["semantic"].Cut {
+		t.Errorf("refined cut %.2f >= semantic cut %.2f",
+			byName["refined"].Cut, byName["semantic"].Cut)
+	}
+	if byName["refined"].Hops >= byName["semantic"].Hops {
+		t.Errorf("refined hops %d >= semantic hops %d",
+			byName["refined"].Hops, byName["semantic"].Hops)
+	}
+	if byName["refined+place"].HopCost > byName["refined"].HopCost {
+		t.Errorf("placement raised hop cost: %.4f > %.4f",
+			byName["refined+place"].HopCost, byName["refined"].HopCost)
+	}
 	for _, r := range res.Rows {
 		if r.Time <= 0 || r.Messages == 0 {
 			t.Errorf("%s: degenerate measurement %+v", r.Name, r)

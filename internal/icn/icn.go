@@ -56,12 +56,75 @@ func Digits(n int) int {
 	return d
 }
 
+// Topology is the spanning-bus hypercube's routing arithmetic as a
+// standalone value: cluster count, base-4 address digits, next-hop and
+// hop-count computation. It carries no buffers or statistics, so layers
+// that only need to COST routes — the partition placement stage, the
+// benchmark harness — can share the exact arithmetic the live Network
+// routes with, without constructing mailboxes.
+type Topology struct {
+	clusters int
+	digits   int
+}
+
+// NewTopology returns the routing arithmetic for an n-cluster array.
+func NewTopology(n int) Topology {
+	if n <= 0 {
+		panic("icn: need at least one cluster")
+	}
+	return Topology{clusters: n, digits: Digits(n)}
+}
+
+// Clusters reports the cluster count.
+func (t Topology) Clusters() int { return t.clusters }
+
+// NextHop reports the neighbouring cluster one digit-correction closer to
+// dest (lowest differing digit first), or dest itself when adjacent.
+// When the array does not fill its hypercube (a cluster count that is not
+// a power of four), a correction that would land on a nonexistent cluster
+// falls through to direct delivery, modeling the incomplete backplane's
+// extra wiring.
+func (t Topology) NextHop(from, dest int) int {
+	for d := 0; d < t.digits; d++ {
+		shift := uint(2 * d)
+		if (from>>shift)&3 != (dest>>shift)&3 {
+			next := from&^(3<<shift) | dest&(3<<shift)
+			if next >= t.clusters {
+				return dest
+			}
+			return next
+		}
+	}
+	return dest
+}
+
+// Hops reports the number of port-to-port transfers between two clusters
+// along the route NextHop takes: the count of differing base-4 address
+// digits, except where the incomplete-array fallback shortens the path.
+func (t Topology) Hops(from, to int) int {
+	h := 0
+	for at := from; at != to; at = t.NextHop(at, to) {
+		h++
+	}
+	return h
+}
+
+// Route returns the full hop sequence from -> ... -> dest (excluding from,
+// including dest). The empty route means from == dest.
+func (t Topology) Route(from, dest int) []int {
+	var route []int
+	for at := from; at != dest; {
+		at = t.NextHop(at, dest)
+		route = append(route, at)
+	}
+	return route
+}
+
 // Network is the array-wide interconnect: one inbound mailbox region per
 // cluster plus routing arithmetic and traffic statistics.
 type Network struct {
-	clusters int
-	digits   int
-	mailbox  []*mpmem.Queue[Message]
+	Topology
+	mailbox []*mpmem.Queue[Message]
 
 	sent      atomic.Int64 // end-to-end messages injected
 	forwarded atomic.Int64 // intermediate relays
@@ -83,59 +146,13 @@ func New(clusters, mailboxCap int) *Network {
 		panic("icn: need at least one cluster")
 	}
 	n := &Network{
-		clusters: clusters,
-		digits:   Digits(clusters),
+		Topology: NewTopology(clusters),
 		mailbox:  make([]*mpmem.Queue[Message], clusters),
 	}
 	for i := range n.mailbox {
 		n.mailbox[i] = mpmem.NewQueue[Message](mailboxCap)
 	}
 	return n
-}
-
-// Clusters reports the cluster count.
-func (n *Network) Clusters() int { return n.clusters }
-
-// Hops reports the number of port-to-port transfers between two clusters
-// along the route NextHop takes: the count of differing base-4 address
-// digits, except where the incomplete-array fallback shortens the path.
-func (n *Network) Hops(from, to int) int {
-	h := 0
-	for at := from; at != to; at = n.NextHop(at, to) {
-		h++
-	}
-	return h
-}
-
-// NextHop reports the neighbouring cluster one digit-correction closer to
-// dest (lowest differing digit first), or dest itself when adjacent.
-// When the array does not fill its hypercube (a cluster count that is not
-// a power of four), a correction that would land on a nonexistent cluster
-// falls through to direct delivery, modeling the incomplete backplane's
-// extra wiring.
-func (n *Network) NextHop(from, dest int) int {
-	for d := 0; d < n.digits; d++ {
-		shift := uint(2 * d)
-		if (from>>shift)&3 != (dest>>shift)&3 {
-			next := from&^(3<<shift) | dest&(3<<shift)
-			if next >= n.clusters {
-				return dest
-			}
-			return next
-		}
-	}
-	return dest
-}
-
-// Route returns the full hop sequence from -> ... -> dest (excluding from,
-// including dest). The empty route means from == dest.
-func (n *Network) Route(from, dest int) []int {
-	var route []int
-	for at := from; at != dest; {
-		at = n.NextHop(at, dest)
-		route = append(route, at)
-	}
-	return route
 }
 
 // Dimension names for diagnostics: digit 0 is the board-local L memory,

@@ -44,6 +44,12 @@ type cluster struct {
 	visited visitTable
 	stats   phaseStats
 
+	// destSends counts remote activations injected per destination
+	// cluster, accumulated across a whole run (reset with the clocks) —
+	// the traffic matrix Machine.DestTraffic reports and the placement
+	// stage aims to keep within one hop.
+	destSends []int64
+
 	// Reused host-side scratch, so the steady-state propagation loop
 	// allocates nothing per task: expand's child list, the mailbox
 	// drain buffer, and one task's outbound messages + tier levels.
@@ -76,10 +82,11 @@ func newClusterWithStore(id int, cfg *Config, store *semnet.Store) *cluster {
 		recvCap = icnRecvBatch
 	}
 	c := &cluster{
-		id:      id,
-		store:   store,
-		muFree:  make([]timing.Time, cfg.musOf(id)),
-		recvBuf: make([]interMsg, recvCap),
+		id:        id,
+		store:     store,
+		muFree:    make([]timing.Time, cfg.musOf(id)),
+		recvBuf:   make([]interMsg, recvCap),
+		destSends: make([]int64, cfg.Clusters),
 	}
 	c.visited.cap = cfg.NodesPerCluster
 	c.arb = mpmem.NewArbiter(cfg.Seed + int64(id))
@@ -91,6 +98,9 @@ func (c *cluster) resetClocks() {
 	c.puFree, c.cuFree, c.last = 0, 0, 0
 	for i := range c.muFree {
 		c.muFree[i] = 0
+	}
+	for i := range c.destSends {
+		c.destSends[i] = 0
 	}
 }
 
@@ -249,6 +259,8 @@ func (v *visitTable) reset() {
 type phaseStats struct {
 	steps     int64 // link traversals
 	sends     int64 // inter-cluster activations injected
+	bursts    int64 // coalesced same-next-hop send groups
+	hops      int64 // port-to-port transfers (filled by the lockstep engine)
 	sources   int64 // source activations (α contribution)
 	dropDepth int64 // tasks cut off by the MaxDepth safety net
 	comm      timing.Time

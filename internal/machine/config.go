@@ -64,6 +64,13 @@ type Config struct {
 	// Partition allocates knowledge-base nodes to clusters.
 	Partition partition.Func
 
+	// Placement, when set, follows partitioning with the hop-aware
+	// placement stage (partition.Place): regions are relabeled onto
+	// hypercube addresses so heavy-traffic cluster pairs land few hops
+	// apart. A pure performance knob — results are bit-identical with it
+	// on or off; only communication charges change.
+	Placement bool
+
 	// Seed drives the multiport-memory arbiter's random tie-break.
 	Seed int64
 

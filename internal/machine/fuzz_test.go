@@ -103,11 +103,17 @@ type machineState struct {
 
 func runProgram(t *testing.T, kb *semnet.KB, p *isa.Program, det bool, clusters int, seed int64) machineState {
 	t.Helper()
+	return runProgramPartitioned(t, kb, p, det, clusters, seed, partition.RoundRobin, false)
+}
+
+func runProgramPartitioned(t *testing.T, kb *semnet.KB, p *isa.Program, det bool, clusters int, seed int64, strat partition.Func, place bool) machineState {
+	t.Helper()
 	cfg := DefaultConfig()
 	cfg.Clusters = clusters
 	cfg.NodesPerCluster = kb.NumNodes() + 32
 	cfg.Deterministic = det
-	cfg.Partition = partition.RoundRobin
+	cfg.Partition = strat
+	cfg.Placement = place
 	cfg.Seed = seed
 	cfg.MaxDepth = 32
 	m, err := New(cfg)
@@ -241,6 +247,52 @@ func TestRandomPropagateHeavyEquivalence(t *testing.T) {
 			diffStates(t, trial, lock, conc,
 				fmt.Sprintf("lockstep vs concurrent (seed %d)", seed))
 		}
+	}
+}
+
+// TestRandomProgramsPartitionInvariance pins the partitioner down as a
+// pure performance knob: the same program over the same network must
+// produce bit-identical marker state and collections under every
+// partitioning strategy, with and without the hypercube placement
+// stage, on both engines. The strategy under test and the engine pair
+// are drawn from the fuzz tape so successive trials cover the product.
+func TestRandomProgramsPartitionInvariance(t *testing.T) {
+	strategies := []struct {
+		name  string
+		strat partition.Func
+		place bool
+	}{
+		{"sequential", partition.Sequential, false},
+		{"round-robin", partition.RoundRobin, false},
+		{"semantic", partition.Semantic, false},
+		{"refined", partition.Refined, false},
+		{"refined+place", partition.Refined, true},
+	}
+	trials := 12
+	if testing.Short() {
+		trials = 4
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(4000 + trial)))
+		kb, rels, cols := randomKB(rng)
+		p := randomProgram(rng, kb, rels, cols)
+		clusters := 1 + rng.Intn(8)
+
+		// Reference: round-robin on the lockstep engine.
+		ref := runProgram(t, kb, p, true, clusters, 1)
+
+		// One tape-drawn challenger per trial keeps runtime linear
+		// while covering every strategy across the trial sweep.
+		s := strategies[rng.Intn(len(strategies))]
+		det := rng.Intn(2) == 0
+		got := runProgramPartitioned(t, kb, p, det, clusters, 1, s.strat, s.place)
+		diffStates(t, trial, ref, got,
+			fmt.Sprintf("round-robin vs %s (det=%v)", s.name, det))
+
+		// Same strategy, fresh machine: per-strategy reproducibility.
+		again := runProgramPartitioned(t, kb, p, true, clusters, 2, s.strat, s.place)
+		ref2 := runProgramPartitioned(t, kb, p, true, clusters, 1, s.strat, s.place)
+		diffStates(t, trial, ref2, again, s.name+" repeat")
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"snap1/internal/barrier"
 	"snap1/internal/fault"
@@ -38,6 +39,10 @@ type Machine struct {
 
 	curRules *rules.Table // rule microcode for the program being run
 
+	// hopBase is the live network's port-transfer counter as of the last
+	// flush, so each concurrent phase's hop traffic is a delta read.
+	hopBase int64
+
 	// inj, when armed, injects deterministic hardware faults into runs
 	// (see SetFaultInjector). Clones start unarmed.
 	inj *fault.Injector
@@ -71,8 +76,11 @@ func (m *Machine) KB() *semnet.KB { return m.kb }
 
 // LoadKB partitions and downloads a knowledge base into the array: the
 // preprocessor splits over-fanout nodes, the partition function assigns
-// nodes to clusters, and each cluster's three tables are filled.
-// Any previously loaded network and all marker state are discarded.
+// nodes to clusters (followed by the hop-aware placement stage when
+// Config.Placement is set), and each cluster's three tables are filled —
+// in parallel, one download per cluster, since the per-cluster fills are
+// independent once the assignment is fixed. Any previously loaded
+// network and all marker state are discarded.
 func (m *Machine) LoadKB(kb *semnet.KB) error {
 	kb.Preprocess()
 	if err := kb.Validate(); err != nil {
@@ -82,29 +90,59 @@ func (m *Machine) LoadKB(kb *semnet.KB) error {
 	if err != nil {
 		return err
 	}
+	if m.cfg.Placement {
+		assign = partition.Place(kb, assign, m.cfg.Clusters)
+	}
 	n := kb.NumNodes()
+	v := kb.CSR()
+	// Bucket nodes per cluster in ascending global-ID order and fix every
+	// local index up front; the per-cluster downloads then share nothing.
+	counts := make([]int, m.cfg.Clusters)
+	for id := 0; id < n; id++ {
+		counts[assign[id]]++
+	}
+	members := make([][]semnet.NodeID, m.cfg.Clusters)
+	for c := range members {
+		members[c] = make([]semnet.NodeID, 0, counts[c])
+	}
 	localIdx := make([]int32, n)
+	for id := 0; id < n; id++ {
+		c := assign[id]
+		localIdx[id] = int32(len(members[c]))
+		members[c] = append(members[c], semnet.NodeID(id))
+	}
 	clusters := make([]*cluster, m.cfg.Clusters)
-	for i := range clusters {
-		clusters[i] = newCluster(i, &m.cfg)
+	errs := make([]error, m.cfg.Clusters)
+	var wg sync.WaitGroup
+	for ci := range clusters {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c := newCluster(ci, &m.cfg)
+			clusters[ci] = c
+			for _, id := range members[ci] {
+				node, err := kb.Node(id)
+				if err != nil {
+					errs[ci] = err
+					return
+				}
+				if _, err := c.store.AddNode(id, node.Color, node.Fn); err != nil {
+					errs[ci] = fmt.Errorf("cluster %d: %w", ci, err)
+					return
+				}
+			}
+			for _, id := range members[ci] {
+				if err := c.store.SetLinks(int(localIdx[id]), v.Out(id)); err != nil {
+					errs[ci] = err
+					return
+				}
+			}
+		}(ci)
 	}
-	for id := 0; id < n; id++ {
-		node, err := kb.Node(semnet.NodeID(id))
-		if err != nil {
-			return err
-		}
-		c := clusters[assign[id]]
-		local, err := c.store.AddNode(semnet.NodeID(id), node.Color, node.Fn)
-		if err != nil {
-			return fmt.Errorf("cluster %d: %w", assign[id], err)
-		}
-		localIdx[id] = int32(local)
-	}
-	for id := 0; id < n; id++ {
-		node, _ := kb.Node(semnet.NodeID(id))
-		c := clusters[assign[id]]
-		if err := c.store.SetLinks(int(localIdx[id]), node.Out); err != nil {
-			return err
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
 		}
 	}
 	// The worker pool holds references to the old cluster array; retire
@@ -291,6 +329,7 @@ func (m *Machine) resetClocks() {
 		c.resetClocks()
 	}
 	m.net.ResetStats()
+	m.hopBase = 0
 }
 
 // runState is the per-Run controller state: the instrumentation profile,
@@ -364,6 +403,19 @@ func (m *Machine) MarkerCount(mk semnet.MarkerID) int {
 
 // ClusterOf reports the cluster holding global node id.
 func (m *Machine) ClusterOf(id semnet.NodeID) int { return m.assign[id] }
+
+// DestTraffic returns the per-destination-cluster remote-activation
+// counts accumulated since the last run started: row src, column dst is
+// how many inter-cluster activations cluster src injected toward dst.
+// This is the traffic matrix the placement stage (partition.Place)
+// minimizes hop-weighted; diagonal entries are always zero.
+func (m *Machine) DestTraffic() [][]int64 {
+	out := make([][]int64, len(m.clusters))
+	for i, c := range m.clusters {
+		out[i] = append([]int64(nil), c.destSends...)
+	}
+	return out
+}
 
 // LinksOf returns a copy of the relation-table entries currently stored
 // for global node id (inspection / test support).

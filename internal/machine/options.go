@@ -90,8 +90,8 @@ func WithCost(cm timing.CostModel) Option {
 }
 
 // WithPartition selects the node-allocation strategy by name:
-// "sequential", "round-robin", or "semantic". An unknown name surfaces as
-// an error from New/NewFromOptions.
+// "sequential", "round-robin", "semantic", or "refined". An unknown name
+// surfaces as an error from New/NewFromOptions.
 func WithPartition(name string) Option {
 	return optionFunc(func(c *Config) {
 		fn, err := partition.ByName(name)
@@ -101,6 +101,12 @@ func WithPartition(name string) Option {
 		}
 		c.Partition = fn
 	})
+}
+
+// WithPlacement toggles the hop-aware placement stage that follows
+// partitioning (see Config.Placement).
+func WithPlacement(on bool) Option {
+	return optionFunc(func(c *Config) { c.Placement = on })
 }
 
 // WithPartitionFunc installs a custom node-allocation function.

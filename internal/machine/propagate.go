@@ -47,6 +47,19 @@ func (m *Machine) flush(st *runState) {
 	st.prof.PropSteps += agg.steps
 	st.prof.PropInstrs += int64(len(st.batch))
 
+	// Interconnect locality counters. The lockstep engine accounts hops
+	// per message as it routes; the concurrent engine reads the live
+	// network's port-transfer counter (the phase has terminated, so the
+	// delta since the previous flush is exactly this phase's traffic).
+	phaseHops := agg.hops
+	if !m.cfg.Deterministic {
+		_, _, total := m.net.Stats()
+		phaseHops = total - m.hopBase
+		m.hopBase = total
+	}
+	st.prof.PropHops += phaseHops
+	st.prof.SendBursts += agg.bursts
+
 	// Attribute the phase duration across the overlapped PROPAGATEs.
 	dur := m.ctrl.Now() - st.batch[0].bAt
 	st.prof.PhaseDurations = append(st.prof.PhaseDurations, dur)
@@ -57,6 +70,8 @@ func (m *Machine) flush(st *runState) {
 	}
 	if mon := m.cfg.Monitor; mon != nil {
 		mon.Emit(-1, perfmon.EvBarrierDone, uint32(bstats.Messages), m.ctrl.Now())
+		mon.Emit(-1, perfmon.EvCutTraffic, uint32(agg.sends), m.ctrl.Now())
+		mon.Emit(-1, perfmon.EvHopTraffic, uint32(phaseHops), m.ctrl.Now())
 	}
 
 	st.batch = st.batch[:0]
@@ -92,6 +107,8 @@ func (m *Machine) runPhaseConcurrent(entries []batchEntry) (barrier.Stats, phase
 func (s *phaseStats) add(o *phaseStats) {
 	s.steps += o.steps
 	s.sends += o.sends
+	s.bursts += o.bursts
+	s.hops += o.hops
 	s.sources += o.sources
 	s.dropDepth += o.dropDepth
 	s.comm += o.comm
@@ -296,6 +313,7 @@ func (c *cluster) processTaskConcurrent(m *Machine, t task) {
 		cuCycles := m.cost.MsgAssembleCycles + m.cost.MailboxEnqueueCycles + m.cost.ArbiterGrantCycles
 		sendEnd := c.cuRun(end, m.cost.PECost(cuCycles))
 		c.stats.sends++
+		c.destSends[dest]++
 		c.stats.comm += m.cost.PECost(cuCycles)
 		msgs = append(msgs, interMsg{
 			Marker:      t.marker,
@@ -315,6 +333,16 @@ func (c *cluster) processTaskConcurrent(m *Machine, t task) {
 		}
 	}
 	if len(msgs) > 0 {
+		// Coalescing accounting: consecutive messages sharing a next hop
+		// ride one mailbox grant (TrySendBatch), so the number of runs is
+		// the number of grants this task's burst costs at best.
+		prev := -1
+		for i := range msgs {
+			if next := m.net.NextHop(c.id, int(msgs[i].DestCluster)); next != prev {
+				c.stats.bursts++
+				prev = next
+			}
+		}
 		// Count the whole burst in flight before any message becomes
 		// visible to a receiver (the barrier protocol invariant).
 		m.bar.CreatedBatch(lvls)
@@ -401,6 +429,7 @@ func (m *Machine) lockstepTask(c *cluster, t task, perLevel *[]int64, total *int
 	children, cost := c.expand(m, t)
 	end := c.muRun(t.ready, cost)
 	asm := m.cost.PECost(m.cost.MsgAssembleCycles)
+	prevNext := -1 // burst accounting, mirroring the concurrent engine
 	for _, ch := range children {
 		dest := m.assign[ch.to]
 		if dest == c.id {
@@ -443,6 +472,12 @@ func (m *Machine) lockstepTask(c *cluster, t task, perLevel *[]int64, total *int
 		}
 
 		c.stats.sends++
+		c.destSends[dest]++
+		c.stats.hops += int64(hops)
+		if next := m.net.NextHop(c.id, dest); next != prevNext {
+			c.stats.bursts++
+			prevNext = next
+		}
 		c.stats.comm += m.cost.PECost(cuCycles) + transit + asm
 		*total++
 		for len(*perLevel) <= int(ch.level) {

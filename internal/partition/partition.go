@@ -2,12 +2,20 @@
 // that divide the semantic network into regions, one region per cluster
 // (Section II-A: "The mapping function is variable with up to 1024 nodes
 // per cluster using sequential, round-robin, or semantically-based
-// allocation").
+// allocation"), plus the cut and hop metrics that score them and a
+// hop-aware placement stage (place.go) that maps regions onto hypercube
+// addresses.
+//
+// Every strategy is deterministic: the same knowledge base, cluster
+// count, and capacity always yield the same assignment. Partitioning is
+// a pure performance knob — query results are bit-identical across
+// strategies; only virtual-time communication charges differ.
 package partition
 
 import (
 	"fmt"
 
+	"snap1/internal/icn"
 	"snap1/internal/semnet"
 )
 
@@ -28,6 +36,18 @@ func check(kb *semnet.KB, clusters, capacity int) error {
 		return fmt.Errorf("%w: %d nodes > %d clusters × %d", ErrTooLarge, n, clusters, capacity)
 	}
 	return nil
+}
+
+// linkWeight scores a link for locality decisions. Preprocessor
+// continuation links weigh heavier than semantic relations: a subnode
+// split from its parent costs a remote expansion on every activation of
+// the parent, so co-locating continuation trees matters more than
+// co-locating any single semantic neighbor.
+func linkWeight(rel semnet.RelType) int64 {
+	if rel == semnet.RelCont {
+		return 4
+	}
+	return 1
 }
 
 // Sequential assigns consecutive node IDs to the same cluster in blocks,
@@ -69,12 +89,17 @@ func RoundRobin(kb *semnet.KB, clusters, capacity int) (Assignment, error) {
 // Semantic allocates connected regions of the network to the same cluster:
 // a breadth-first traversal fills each cluster to its balanced share
 // before moving on, so propagation chains tend to stay cluster-local.
-// Preprocessor subnodes always co-locate with the concept they continue.
+// The traversal follows links in both directions — a high-fanin hub is
+// reached from the nodes that point at it, not only through its own
+// out-links — so hubs co-locate with their neighborhoods. Preprocessor
+// subnodes always co-locate with the concept they continue (the
+// continuation link is an ordinary out-link and is followed like one).
 func Semantic(kb *semnet.KB, clusters, capacity int) (Assignment, error) {
 	if err := check(kb, clusters, capacity); err != nil {
 		return nil, err
 	}
-	n := kb.NumNodes()
+	v := kb.CSR()
+	n := v.NumNodes()
 	a := make(Assignment, n)
 	for i := range a {
 		a[i] = -1
@@ -107,13 +132,14 @@ func Semantic(kb *semnet.KB, clusters, capacity int) (Assignment, error) {
 		for len(queue) > 0 {
 			id := queue[0]
 			queue = queue[1:]
-			node, err := kb.Node(semnet.NodeID(id))
-			if err != nil {
-				return nil, err
-			}
-			for _, l := range node.Out {
+			for _, l := range v.Out(semnet.NodeID(id)) {
 				if place(int(l.To)) {
 					queue = append(queue, int(l.To))
+				}
+			}
+			for _, from := range v.InFrom[v.InOff[id]:v.InOff[id+1]] {
+				if place(int(from)) {
+					queue = append(queue, int(from))
 				}
 			}
 		}
@@ -133,25 +159,60 @@ func Balance(a Assignment, clusters int) []int {
 }
 
 // CutRatio reports the fraction of links whose endpoints land in different
-// clusters — the traffic a partition sends through the interconnect.
+// clusters — the traffic a partition sends through the interconnect. It
+// walks the knowledge base's flat CSR adjacency snapshot, so a full sweep
+// is a linear scan of one link slab.
 func CutRatio(kb *semnet.KB, a Assignment) float64 {
-	total, cut := 0, 0
-	for id := 0; id < kb.NumNodes(); id++ {
-		node, err := kb.Node(semnet.NodeID(id))
-		if err != nil {
-			continue
-		}
-		for _, l := range node.Out {
-			total++
-			if a[id] != a[l.To] {
+	v := kb.CSR()
+	if len(v.Links) == 0 {
+		return 0
+	}
+	cut := 0
+	for id, n := 0, v.NumNodes(); id < n; id++ {
+		home := a[id]
+		for _, l := range v.Links[v.Off[id]:v.Off[id+1]] {
+			if a[l.To] != home {
 				cut++
 			}
 		}
 	}
-	if total == 0 {
+	return float64(cut) / float64(len(v.Links))
+}
+
+// HopCost reports the mean number of hypercube hops a message sent down
+// each link would take under the given assignment — 0 for cluster-local
+// links, 1 for links between clusters one digit apart, and so on. Where
+// CutRatio only counts whether a link crosses the interconnect, HopCost
+// also scores how far it travels, which is what the placement stage
+// (Place) minimizes.
+func HopCost(kb *semnet.KB, a Assignment, clusters int) float64 {
+	v := kb.CSR()
+	if len(v.Links) == 0 {
 		return 0
 	}
-	return float64(cut) / float64(total)
+	t := icn.NewTopology(clusters)
+	hops := hopTable(t)
+	var total int64
+	for id, n := 0, v.NumNodes(); id < n; id++ {
+		home := a[id] * clusters
+		for _, l := range v.Links[v.Off[id]:v.Off[id+1]] {
+			total += int64(hops[home+a[l.To]])
+		}
+	}
+	return float64(total) / float64(len(v.Links))
+}
+
+// hopTable precomputes the pairwise hop counts of a topology as one flat
+// clusters×clusters array (row = source).
+func hopTable(t icn.Topology) []int8 {
+	c := t.Clusters()
+	tab := make([]int8, c*c)
+	for from := 0; from < c; from++ {
+		for to := 0; to < c; to++ {
+			tab[from*c+to] = int8(t.Hops(from, to))
+		}
+	}
+	return tab
 }
 
 // ByName resolves a strategy name for command-line tools.
@@ -163,6 +224,8 @@ func ByName(name string) (Func, error) {
 		return RoundRobin, nil
 	case "semantic", "sem":
 		return Semantic, nil
+	case "refined", "ref":
+		return Refined, nil
 	default:
 		return nil, fmt.Errorf("partition: unknown strategy %q", name)
 	}

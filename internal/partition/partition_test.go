@@ -50,7 +50,8 @@ func TestAllStrategiesRespectCapacity(t *testing.T) {
 	} {
 		kb := lineKB(t, tc.n)
 		for name, f := range map[string]Func{
-			"sequential": Sequential, "round-robin": RoundRobin, "semantic": Semantic,
+			"sequential": Sequential, "round-robin": RoundRobin,
+			"semantic": Semantic, "refined": Refined,
 		} {
 			a, err := f(kb, tc.clusters, tc.capacity)
 			if err != nil {
@@ -63,7 +64,7 @@ func TestAllStrategiesRespectCapacity(t *testing.T) {
 
 func TestTooLarge(t *testing.T) {
 	kb := lineKB(t, 100)
-	for _, f := range []Func{Sequential, RoundRobin, Semantic} {
+	for _, f := range []Func{Sequential, RoundRobin, Semantic, Refined} {
 		if _, err := f(kb, 4, 10); !errors.Is(err, ErrTooLarge) {
 			t.Errorf("expected ErrTooLarge, got %v", err)
 		}
@@ -122,7 +123,7 @@ func TestCutRatioEmpty(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"sequential", "seq", "round-robin", "rr", "semantic", "sem"} {
+	for _, name := range []string{"sequential", "seq", "round-robin", "rr", "semantic", "sem", "refined", "ref"} {
 		if _, err := ByName(name); err != nil {
 			t.Errorf("ByName(%q): %v", name, err)
 		}

@@ -1,0 +1,272 @@
+package partition
+
+import (
+	"sort"
+
+	"snap1/internal/semnet"
+)
+
+// refinePasses bounds the label-propagation sweeps before and after the
+// boundary-swap pass; refinement cost stays O(passes × links) no matter
+// how slowly a pathological network converges.
+const (
+	refinePasses     = 6
+	postSwapPasses   = 2
+	swapCandidateCap = 96
+)
+
+// Refined is the cut-minimizing strategy: degree-ordered BFS seeding
+// followed by bounded label-propagation and boundary-swap refinement.
+//
+// Seeding grows one connected region per cluster, like Semantic, but
+// each region starts from the highest-weighted-degree node still
+// unassigned — hubs become region cores instead of being swept in at
+// whatever cluster the scan happens to be filling — and a region that
+// reaches its balanced share is abandoned where it stands rather than
+// spilling its frontier into the next cluster.
+//
+// Refinement then sweeps all nodes in ID order for a bounded number of
+// passes, moving each node to the neighboring cluster holding the most
+// link weight, provided the destination stays under a small slack above
+// the balanced share (never above capacity) and the source cluster keeps
+// at least one node. Nodes whose best cluster is full get one
+// boundary-swap pass: the node trades places with a member of the full
+// cluster when the exchange shrinks the weighted cut. Preprocessor
+// continuation links weigh 4× (see linkWeight), so subnode trees stick
+// to their parent concept throughout.
+//
+// The whole pipeline reads only the CSR snapshot and iterates in fixed
+// ID or sorted order, so the same knowledge base, cluster count, and
+// capacity always produce the same assignment.
+func Refined(kb *semnet.KB, clusters, capacity int) (Assignment, error) {
+	if err := check(kb, clusters, capacity); err != nil {
+		return nil, err
+	}
+	v := kb.CSR()
+	n := v.NumNodes()
+	a := make(Assignment, n)
+	if n == 0 {
+		return a, nil
+	}
+	for i := range a {
+		a[i] = -1
+	}
+	share := (n + clusters - 1) / clusters
+	if share > capacity {
+		share = capacity
+	}
+
+	// Weighted degree of every node (both directions, continuation ×4).
+	deg := make([]int64, n)
+	for id := 0; id < n; id++ {
+		for _, l := range v.Links[v.Off[id]:v.Off[id+1]] {
+			w := linkWeight(l.Rel)
+			deg[id] += w
+			deg[l.To] += w
+		}
+	}
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		x, y := order[i], order[j]
+		if deg[x] != deg[y] {
+			return deg[x] > deg[y]
+		}
+		return x < y
+	})
+
+	// Region growing: BFS from each seed, both link directions, stopping
+	// at the balanced share. The last cluster absorbs any remainder
+	// (check() guarantees it fits capacity when share == capacity, and
+	// the remainder is at most share otherwise).
+	size := make([]int, clusters)
+	cur := 0
+	queue := make([]int32, 0, 256)
+	assign := func(id int32) bool {
+		if a[id] != -1 || (size[cur] >= share && cur != clusters-1) {
+			return false
+		}
+		a[id] = cur
+		size[cur]++
+		return true
+	}
+	for _, seed := range order {
+		if a[seed] != -1 {
+			continue
+		}
+		if size[cur] >= share && cur < clusters-1 {
+			cur++
+		}
+		assign(seed)
+		queue = append(queue[:0], seed)
+		for qi := 0; qi < len(queue); qi++ {
+			if size[cur] >= share && cur != clusters-1 {
+				break // region full: the next seed opens the next cluster
+			}
+			id := queue[qi]
+			for _, l := range v.Links[v.Off[id]:v.Off[id+1]] {
+				if assign(int32(l.To)) {
+					queue = append(queue, int32(l.To))
+				}
+			}
+			for _, from := range v.InFrom[v.InOff[id]:v.InOff[id+1]] {
+				if assign(int32(from)) {
+					queue = append(queue, int32(from))
+				}
+			}
+		}
+	}
+
+	// Refinement. limit allows a little imbalance in exchange for cut:
+	// share plus one eighth, never above capacity.
+	limit := share + (share+7)/8
+	if limit > capacity {
+		limit = capacity
+	}
+
+	// wbuf[c] accumulates the link weight node id holds in cluster c;
+	// touched records which entries to zero afterwards (linkWeight ≥ 1,
+	// so a zero entry always means untouched).
+	wbuf := make([]int64, clusters)
+	touched := make([]int32, 0, clusters)
+	gather := func(id int) {
+		for _, l := range v.Links[v.Off[id]:v.Off[id+1]] {
+			c := a[l.To]
+			if wbuf[c] == 0 {
+				touched = append(touched, int32(c))
+			}
+			wbuf[c] += linkWeight(l.Rel)
+		}
+		for k := v.InOff[id]; k < v.InOff[id+1]; k++ {
+			c := a[v.InFrom[k]]
+			if wbuf[c] == 0 {
+				touched = append(touched, int32(c))
+			}
+			wbuf[c] += linkWeight(v.InRel[k])
+		}
+	}
+	clearbuf := func() {
+		for _, c := range touched {
+			wbuf[c] = 0
+		}
+		touched = touched[:0]
+	}
+	// edgeW is the direct link weight between two specific nodes, needed
+	// to correct the gain of a swap (a shared edge stays cut after one).
+	edgeW := func(u, w int) int64 {
+		var sum int64
+		for _, l := range v.Links[v.Off[u]:v.Off[u+1]] {
+			if int(l.To) == w {
+				sum += linkWeight(l.Rel)
+			}
+		}
+		for k := v.InOff[u]; k < v.InOff[u+1]; k++ {
+			if int(v.InFrom[k]) == w {
+				sum += linkWeight(v.InRel[k])
+			}
+		}
+		return sum
+	}
+
+	// labelPass moves each node (ID order) to the neighboring cluster
+	// with the most link weight, under the balance limit; reports moves.
+	labelPass := func() int {
+		moved := 0
+		for id := 0; id < n; id++ {
+			home := a[id]
+			if size[home] <= 1 {
+				continue // keep every cluster populated
+			}
+			gather(id)
+			best, bestW := home, wbuf[home]
+			for _, c := range touched {
+				ci := int(c)
+				if ci == home || size[ci] >= limit {
+					continue
+				}
+				w := wbuf[ci]
+				if w > bestW || (w == bestW && best != home && ci < best) {
+					best, bestW = ci, w
+				}
+			}
+			clearbuf()
+			if best != home {
+				a[id] = best
+				size[home]--
+				size[best]++
+				moved++
+			}
+		}
+		return moved
+	}
+
+	// swapPass handles nodes whose best cluster is at the balance limit:
+	// trade places with a member of that cluster when the exchange
+	// shrinks the weighted cut. Sizes are unchanged by a swap. Member
+	// lists are built once per pass; entries gone stale from an earlier
+	// swap in the same pass are skipped (a missed opportunity, not an
+	// error), keeping the pass deterministic and single-scan.
+	swapPass := func() int {
+		members := make([][]int32, clusters)
+		for id := 0; id < n; id++ {
+			members[a[id]] = append(members[a[id]], int32(id))
+		}
+		swapped := 0
+		for id := 0; id < n; id++ {
+			home := a[id]
+			gather(id)
+			wHome := wbuf[home]
+			best, bestW := -1, wHome
+			for _, c := range touched {
+				ci := int(c)
+				if ci == home {
+					continue
+				}
+				w := wbuf[ci]
+				if w > bestW || (w == bestW && best != -1 && ci < best) {
+					best, bestW = ci, w
+				}
+			}
+			clearbuf()
+			if best == -1 || size[best] < limit {
+				continue // unblocked moves belong to labelPass
+			}
+			gain := bestW - wHome
+			tried := 0
+			for _, cand := range members[best] {
+				if int(cand) == id || a[cand] != best {
+					continue
+				}
+				if tried++; tried > swapCandidateCap {
+					break
+				}
+				gather(int(cand))
+				candGain := wbuf[home] - wbuf[best]
+				clearbuf()
+				if gain+candGain-2*edgeW(id, int(cand)) > 0 {
+					a[id] = best
+					a[cand] = home
+					swapped++
+					break
+				}
+			}
+		}
+		return swapped
+	}
+
+	for pass := 0; pass < refinePasses; pass++ {
+		if labelPass() == 0 {
+			break
+		}
+	}
+	if swapPass() > 0 {
+		for pass := 0; pass < postSwapPasses; pass++ {
+			if labelPass() == 0 {
+				break
+			}
+		}
+	}
+	return a, nil
+}

@@ -48,6 +48,11 @@ const (
 	EvReplicaQuarantined // status: consecutive timeouts at quarantine
 	EvQueryRetried       // status: attempt number of the retry
 	EvReplicaRestored    // status: probe successes at restoration
+
+	// Interconnect locality events, emitted once per propagation phase at
+	// the barrier — the counters the partitioning/placement work targets.
+	EvCutTraffic // status: inter-cluster activations this phase (cut links exercised)
+	EvHopTraffic // status: port-to-port ICN transfers this phase
 )
 
 func (e EventCode) String() string {
@@ -92,6 +97,10 @@ func (e EventCode) String() string {
 		return "query-retried"
 	case EvReplicaRestored:
 		return "replica-restored"
+	case EvCutTraffic:
+		return "cut-traffic"
+	case EvHopTraffic:
+		return "hop-traffic"
 	default:
 		return "none"
 	}

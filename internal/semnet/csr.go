@@ -1,0 +1,97 @@
+package semnet
+
+import "sync"
+
+// CSRView is a flat compressed-sparse-row snapshot of the knowledge
+// base's link structure, in both directions:
+//
+//   - node id's outgoing links occupy Links[Off[id]:Off[id+1]];
+//   - the ids of the nodes linking INTO id occupy InFrom[InOff[id]:InOff[id+1]],
+//     with InRel holding the corresponding relation types.
+//
+// Partitioning strategies and cut metrics walk these slabs instead of
+// issuing one error-checked KB.Node call per node: the whole network is
+// a handful of contiguous arrays, so a full sweep is a linear scan with
+// no per-node overhead. The view is a snapshot — it reflects the KB at
+// the generation it was built for and is immutable afterwards; callers
+// must not modify the slices.
+type CSRView struct {
+	Off   []int32 // len NumNodes+1: out-link offsets into Links
+	Links []Link  // all out-links, packed in ascending node order
+
+	InOff  []int32   // len NumNodes+1: in-link offsets into InFrom/InRel
+	InFrom []NodeID  // source node of each in-link
+	InRel  []RelType // relation type of each in-link
+}
+
+// NumNodes reports the node count the view was built over.
+func (v *CSRView) NumNodes() int { return len(v.Off) - 1 }
+
+// Out returns node id's outgoing links (a sub-slice of the shared slab).
+func (v *CSRView) Out(id NodeID) []Link {
+	return v.Links[v.Off[id]:v.Off[id+1]]
+}
+
+// OutDegree reports node id's outgoing link count.
+func (v *CSRView) OutDegree(id NodeID) int { return int(v.Off[id+1] - v.Off[id]) }
+
+// InDegree reports node id's incoming link count.
+func (v *CSRView) InDegree(id NodeID) int { return int(v.InOff[id+1] - v.InOff[id]) }
+
+// Degree reports node id's total (in + out) link count.
+func (v *CSRView) Degree(id NodeID) int { return v.OutDegree(id) + v.InDegree(id) }
+
+// CSR returns the flat adjacency view of the knowledge base, building it
+// on first use and caching it until the next structural mutation (the
+// cache is keyed on the KB's generation counter). Building is O(nodes +
+// links) with a fixed handful of allocations; subsequent calls within
+// one generation are a lock and a pointer read, so every partitioning
+// pass, cut metric, and placement stage of one LoadKB shares a single
+// snapshot.
+func (kb *KB) CSR() *CSRView {
+	kb.csrMu.Lock()
+	defer kb.csrMu.Unlock()
+	if kb.csr != nil && kb.csrGen == kb.gen {
+		return kb.csr
+	}
+	n := len(kb.nodes)
+	v := &CSRView{
+		Off:   make([]int32, n+1),
+		Links: make([]Link, 0, kb.numLinks),
+		InOff: make([]int32, n+1),
+	}
+	// Out-links: one append pass, offsets as we go.
+	for id := 0; id < n; id++ {
+		v.Off[id] = int32(len(v.Links))
+		v.Links = append(v.Links, kb.nodes[id].Out...)
+	}
+	v.Off[n] = int32(len(v.Links))
+	// In-links: counting sort over the out slab.
+	for _, l := range v.Links {
+		v.InOff[l.To+1]++
+	}
+	for id := 0; id < n; id++ {
+		v.InOff[id+1] += v.InOff[id]
+	}
+	v.InFrom = make([]NodeID, len(v.Links))
+	v.InRel = make([]RelType, len(v.Links))
+	fill := make([]int32, n)
+	for id := 0; id < n; id++ {
+		for _, l := range kb.nodes[id].Out {
+			at := v.InOff[l.To] + fill[l.To]
+			v.InFrom[at] = NodeID(id)
+			v.InRel[at] = l.Rel
+			fill[l.To]++
+		}
+	}
+	kb.csr, kb.csrGen = v, kb.gen
+	return v
+}
+
+// csrCache is the KB-embedded cache state for CSR (kept in its own file
+// with the view logic; the zero value is ready to use).
+type csrCache struct {
+	csrMu  sync.Mutex
+	csr    *CSRView
+	csrGen uint64
+}

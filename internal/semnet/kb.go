@@ -41,6 +41,9 @@ type KB struct {
 	// it. Result caches key on it so entries from an older topology can
 	// never satisfy a query against a newer one.
 	gen uint64
+
+	// csrCache holds the generation-keyed flat adjacency snapshot (csr.go).
+	csrCache
 }
 
 // Generation reports the knowledge base's structural revision counter.

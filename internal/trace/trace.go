@@ -54,6 +54,8 @@ type Profile struct {
 	PropInstrs   int64 // PROPAGATE instructions executed
 	PropSteps    int64 // individual link traversals
 	PropMessages int64 // inter-cluster activations
+	PropHops     int64 // port-to-port ICN transfers carrying them
+	SendBursts   int64 // coalesced same-next-hop send groups
 	PropMaxDepth int   // longest propagation path observed
 
 	// Collection detail.
@@ -103,6 +105,8 @@ func (p *Profile) Merge(o *Profile) {
 	p.PropInstrs += o.PropInstrs
 	p.PropSteps += o.PropSteps
 	p.PropMessages += o.PropMessages
+	p.PropHops += o.PropHops
+	p.SendBursts += o.SendBursts
 	if o.PropMaxDepth > p.PropMaxDepth {
 		p.PropMaxDepth = o.PropMaxDepth
 	}
@@ -197,8 +201,8 @@ func (p *Profile) String() string {
 		fmt.Fprintf(&b, "  %-12s %7d instrs (%5.1f%%)  %12s (%5.1f%%)\n",
 			r.g, r.c, cf*100, r.t, tf*100)
 	}
-	fmt.Fprintf(&b, "  propagation: %d steps, %d messages, max depth %d, %d barriers (mean %.2f msgs/barrier)\n",
-		p.PropSteps, p.PropMessages, p.PropMaxDepth, len(p.Barriers), p.MeanMessagesPerBarrier())
+	fmt.Fprintf(&b, "  propagation: %d steps, %d messages, %d hops, max depth %d, %d barriers (mean %.2f msgs/barrier)\n",
+		p.PropSteps, p.PropMessages, p.PropHops, p.PropMaxDepth, len(p.Barriers), p.MeanMessagesPerBarrier())
 	fmt.Fprintf(&b, "  overhead: broadcast %s, comm %s, sync %s, collect %s\n",
 		p.Overhead.Broadcast, p.Overhead.Communication,
 		p.Overhead.Synchronization, p.Overhead.Collection)

@@ -79,6 +79,7 @@ func main() {
 	faultPlan := flag.String("fault-plan", "", "seeded fault-injection plan (JSON file; see docs/RESILIENCE.md)")
 	queryTimeout := flag.Duration("query-timeout", 10*time.Second, "per-attempt query deadline (0 disables)")
 	retries := flag.Int("retries", 3, "total execution attempts per query (1 disables retries)")
+	fusion := flag.Int("fusion", 8, "max queries coalesced into one fused run (1 disables query fusion)")
 	flag.Parse()
 
 	kb, err := loadKB(*kbPath, *gen, *domain, *seed)
@@ -95,6 +96,7 @@ func main() {
 		engine.WithMaxInFlight(*maxInFlight),
 		engine.WithQueryTimeout(*queryTimeout),
 		engine.WithRetryPolicy(engine.RetryPolicy{MaxAttempts: *retries}),
+		engine.WithFusion(*fusion),
 		engine.WithMachineOptions(
 			machine.WithClusters(*clusters),
 			machine.WithMarkerUnits(2, 0),

@@ -110,6 +110,13 @@ type Config struct {
 	// FaultPlan, when non-nil, arms deterministic fault injection on
 	// every replica, seeded per replica rank (soak testing).
 	FaultPlan *fault.Plan
+	// Fusion bounds how many mutually independent queries one serving
+	// round may coalesce into a single fused machine run (marker-plane
+	// query fusion). 0 selects the default (8); 1 or negative disables
+	// fusion. Fusion is forced off while FaultPlan is armed: retry and
+	// quarantine accounting are per-query, and a fused run would
+	// spread one injected fault across unrelated queries.
+	Fusion int
 }
 
 // Validate reports every invalid field of the configuration in one
@@ -222,6 +229,18 @@ func WithFaultPlan(p *fault.Plan) Option {
 	return func(c *Config) { c.FaultPlan = p }
 }
 
+// WithFusion bounds queries coalesced per fused run; n <= 1 disables
+// query fusion.
+func WithFusion(n int) Option {
+	return func(c *Config) {
+		if n <= 1 {
+			c.Fusion = -1
+		} else {
+			c.Fusion = n
+		}
+	}
+}
+
 func defaultMachineConfig() machine.Config {
 	mc := machine.PaperConfig()
 	mc.Deterministic = true
@@ -233,6 +252,7 @@ type request struct {
 	ctx      context.Context
 	prog     *isa.Program
 	hash     uint64
+	gen      uint64 // KB generation at admission; fusion groups within one
 	resp     chan response
 	enqueued time.Time
 }
@@ -301,6 +321,12 @@ func New(kb *semnet.KB, opts ...Option) (*Engine, error) {
 	}
 	if cfg.ResultCacheCap == 0 {
 		cfg.ResultCacheCap = 1024
+	}
+	if cfg.Fusion == 0 {
+		cfg.Fusion = 8
+	}
+	if cfg.FaultPlan != nil {
+		cfg.Fusion = 1
 	}
 	if cfg.Machine.Clusters == 0 {
 		cfg.Machine = defaultMachineConfig()
@@ -415,8 +441,11 @@ func (e *Engine) KB() *semnet.KB { return e.kb }
 
 // Submit enqueues a read-only program and blocks until its result, the
 // context's cancellation/deadline, or engine shutdown. Each query runs
-// on a pool replica with fresh marker state; results are identical to a
-// sequential Machine.Run of the same program on a fresh machine. With
+// on a pool replica with fresh marker state; collections are identical
+// to a sequential Machine.Run of the same program on a fresh machine.
+// So is the virtual time, unless the serving round coalesced the query
+// into a fused multi-query run (Config.Fusion): a fused member's
+// Result carries the fused run's end time and is marked Fused. With
 // result caching active (the default on deterministic pools), a repeat
 // of a completed query returns the memoized Result — bit-identical,
 // virtual time included — and concurrent identical submissions collapse
@@ -450,7 +479,10 @@ func (e *Engine) Submit(ctx context.Context, prog *isa.Program) (*machine.Result
 		f, leader := e.flights.join(h)
 		if leader {
 			res, err := e.executeRetry(ctx, prog, h)
-			if err == nil {
+			if err == nil && !res.Fused {
+				// A fused result reports the fused run's end time, not
+				// the solo-reproducible time the cache's bit-identity
+				// contract promises — serve it, but don't memoize it.
 				e.results.put(h, gen, res)
 			}
 			e.flights.finish(h, f, res, err)
@@ -498,7 +530,10 @@ func (e *Engine) execute(ctx context.Context, prog *isa.Program, h uint64, attem
 	}
 	defer e.inflight.Add(-1)
 
-	req := &request{ctx: ctx, prog: prog, hash: h, resp: make(chan response, 1), enqueued: time.Now()}
+	req := &request{
+		ctx: ctx, prog: prog, hash: h, gen: e.kb.Generation(),
+		resp: make(chan response, 1), enqueued: time.Now(),
+	}
 	depth := e.shards[e.pickShard(h, attempt)].push(req)
 	e.st.submit()
 	e.emit(-1, perfmon.EvQuerySubmit, uint32(depth), 0)
@@ -613,36 +648,49 @@ func (e *Engine) serve(rank int) {
 }
 
 // runBatch serves one round of queries back-to-back on one replica.
+// Rounds with more than one mutually fusable query are coalesced into
+// fused runs (see fusion.go); everything else runs solo.
 func (e *Engine) runBatch(rank int, m *machine.Machine, batch []*request) {
-	for _, req := range batch {
-		e.st.queueWait(time.Since(req.enqueued))
-		if err := req.ctx.Err(); err != nil {
-			e.st.cancel()
-			e.emit(rank, perfmon.EvQueryCancel, uint32(e.queued.Load()), 0)
-			req.resp <- response{err: err}
+	for len(batch) > 0 {
+		group := e.fusionGroup(&batch)
+		if len(group) > 1 && e.runFused(rank, m, group) {
 			continue
 		}
-		m.ClearMarkers()
-		start := time.Now()
-		res, err := m.RunContext(req.ctx, req.prog)
-		e.st.run(time.Since(start), err)
-		switch {
-		case err == nil:
-			e.noteSuccess(rank)
-			if p := res.Profile; p != nil {
-				e.st.icn(p.PropMessages, p.PropHops, p.SendBursts)
-			}
-			e.emit(rank, perfmon.EvQueryDone, uint32(res.Time), res.Time)
-		case errors.Is(err, context.DeadlineExceeded):
-			// A deadline blown on this replica — possibly a wedged or
-			// crawling array — counts toward its quarantine threshold.
-			e.noteTimeout(rank)
-			e.emit(rank, perfmon.EvQueryCancel, uint32(e.queued.Load()), 0)
-		case req.ctx.Err() != nil:
-			e.emit(rank, perfmon.EvQueryCancel, uint32(e.queued.Load()), 0)
+		for _, req := range group {
+			e.runOne(rank, m, req)
 		}
-		req.resp <- response{res: res, err: err}
 	}
+}
+
+// runOne serves a single query on the replica.
+func (e *Engine) runOne(rank int, m *machine.Machine, req *request) {
+	e.st.queueWait(time.Since(req.enqueued))
+	if err := req.ctx.Err(); err != nil {
+		e.st.cancel()
+		e.emit(rank, perfmon.EvQueryCancel, uint32(e.queued.Load()), 0)
+		req.resp <- response{err: err}
+		return
+	}
+	m.ClearMarkers()
+	start := time.Now()
+	res, err := m.RunContext(req.ctx, req.prog)
+	e.st.run(time.Since(start), err)
+	switch {
+	case err == nil:
+		e.noteSuccess(rank)
+		if p := res.Profile; p != nil {
+			e.st.icn(p.PropMessages, p.PropHops, p.SendBursts)
+		}
+		e.emit(rank, perfmon.EvQueryDone, uint32(res.Time), res.Time)
+	case errors.Is(err, context.DeadlineExceeded):
+		// A deadline blown on this replica — possibly a wedged or
+		// crawling array — counts toward its quarantine threshold.
+		e.noteTimeout(rank)
+		e.emit(rank, perfmon.EvQueryCancel, uint32(e.queued.Load()), 0)
+	case req.ctx.Err() != nil:
+		e.emit(rank, perfmon.EvQueryCancel, uint32(e.queued.Load()), 0)
+	}
+	req.resp <- response{res: res, err: err}
 }
 
 // emit forwards an engine-level event to the monitor, if attached, and

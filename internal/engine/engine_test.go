@@ -93,7 +93,11 @@ func sameNames(a, b []string) bool {
 // per-query result to be identical to sequential execution.
 func TestConcurrentSubmitMatchesSequential(t *testing.T) {
 	g := fig15KB(t, 1600)
-	e, err := New(g.KB, WithReplicas(4), WithMaxBatch(4))
+	// Fusion off: this test pins the bit-identical serving mode, where
+	// even virtual times match a sequential machine exactly. Fused
+	// serving (which reports fused-run end times) is pinned by the
+	// tests in fusion_test.go.
+	e, err := New(g.KB, WithReplicas(4), WithMaxBatch(4), WithFusion(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +176,7 @@ func TestConcurrentSubmitMatchesSequential(t *testing.T) {
 // replica and still match the sequential reference exactly.
 func TestConcurrentSubmitUncached(t *testing.T) {
 	g := fig15KB(t, 1600)
-	e, err := New(g.KB, WithReplicas(4), WithMaxBatch(4), WithResultCache(0))
+	e, err := New(g.KB, WithReplicas(4), WithMaxBatch(4), WithResultCache(0), WithFusion(1))
 	if err != nil {
 		t.Fatal(err)
 	}

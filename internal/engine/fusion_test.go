@@ -1,0 +1,256 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"snap1/internal/isa"
+	"snap1/internal/machine"
+	"snap1/internal/rules"
+	"snap1/internal/semnet"
+)
+
+// soloReference runs prog on a fresh machine of the engine's replica
+// configuration: the per-query ground truth a fused run must reproduce
+// bit-exactly (collections; virtual time is solo time).
+func soloReference(t *testing.T, e *Engine, prog *isa.Program) *machine.Result {
+	t.Helper()
+	m, err := machine.New(e.cfg.Machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.LoadKB(e.kb); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSubmitBatchFusesAndMatchesSolo pins the fusion contract end to
+// end: a batch of independent queries admitted together on a
+// single-replica engine is served by one fused machine run, every
+// member's collections are bit-identical to its solo execution, and
+// every member reports the fused run's end time.
+func TestSubmitBatchFusesAndMatchesSolo(t *testing.T) {
+	g := fig15KB(t, 1600)
+	e, err := New(g.KB, WithReplicas(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	concepts := queryConcepts(g, 4)
+	progs := make([]*isa.Program, len(concepts))
+	solo := make([]*machine.Result, len(concepts))
+	for i, c := range concepts {
+		progs[i], err = e.Compile(inheritanceQuery(g, c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo[i] = soloReference(t, e, progs[i])
+	}
+
+	results, errs := e.SubmitBatch(context.Background(), progs)
+	for i := range progs {
+		if errs[i] != nil {
+			t.Fatalf("batch element %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(results[i].Collections, solo[i].Collections) {
+			t.Errorf("element %d: fused collections diverge from solo run", i)
+		}
+	}
+
+	st := e.Stats()
+	if st.FusedBatches == 0 {
+		t.Fatalf("no fused run: stats %+v", st.FusionRejects)
+	}
+	if st.FusedQueries != uint64(len(progs)) {
+		t.Errorf("fused queries = %d, want %d", st.FusedQueries, len(progs))
+	}
+	if !results[0].Fused {
+		t.Error("result not marked Fused")
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Time != results[0].Time {
+			t.Errorf("member %d time %v != member 0 time %v (all must report the fused end)",
+				i, results[i].Time, results[0].Time)
+		}
+	}
+	if ev := st.Events["query-fused"]; ev == 0 {
+		t.Error("no query-fused monitor event counted")
+	}
+}
+
+// TestSubmitBatchFusionDisabled pins the opt-out: with fusion off the
+// same batch runs solo, and every member's result — virtual time
+// included — is bit-identical to a sequential machine run.
+func TestSubmitBatchFusionDisabled(t *testing.T) {
+	g := fig15KB(t, 800)
+	e, err := New(g.KB, WithReplicas(1), WithFusion(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	concepts := queryConcepts(g, 3)
+	progs := make([]*isa.Program, len(concepts))
+	for i, c := range concepts {
+		progs[i], err = e.Compile(inheritanceQuery(g, c))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, errs := e.SubmitBatch(context.Background(), progs)
+	for i := range progs {
+		if errs[i] != nil {
+			t.Fatalf("element %d: %v", i, errs[i])
+		}
+		solo := soloReference(t, e, progs[i])
+		if results[i].Time != solo.Time {
+			t.Errorf("element %d: time %v != solo %v", i, results[i].Time, solo.Time)
+		}
+		if !reflect.DeepEqual(results[i].Collections, solo.Collections) {
+			t.Errorf("element %d: collections diverge from solo run", i)
+		}
+		if results[i].Fused {
+			t.Errorf("element %d marked Fused with fusion disabled", i)
+		}
+	}
+	if st := e.Stats(); st.FusedBatches != 0 {
+		t.Errorf("fused batches = %d with fusion disabled", st.FusedBatches)
+	}
+}
+
+// TestSubmitBatchPerElementErrors: invalid members fail individually
+// with their own typed error; valid members are still served.
+func TestSubmitBatchPerElementErrors(t *testing.T) {
+	g := fig15KB(t, 400)
+	e, err := New(g.KB, WithReplicas(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	good, err := e.Compile(inheritanceQuery(g, queryConcepts(g, 1)[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := isa.NewProgram()
+	mut.SearchColor(g.KB.ColorFor("concept"), 0, 1)
+	mut.SetColor(0, g.KB.ColorFor("concept"))
+
+	results, errs := e.SubmitBatch(context.Background(), []*isa.Program{mut, good})
+	if !errors.Is(errs[0], ErrMutatingProgram) {
+		t.Errorf("mutating element error = %v, want ErrMutatingProgram", errs[0])
+	}
+	if results[0] != nil {
+		t.Error("mutating element returned a result")
+	}
+	if errs[1] != nil || results[1] == nil {
+		t.Errorf("valid element failed: %v", errs[1])
+	}
+}
+
+// TestFusionAmbiguityFallsBackToSolo: two queries whose propagation
+// waves deliver equal final values from different origins to one node
+// trip the machine's runtime ambiguity detector; the engine must fall
+// back to solo execution and still answer both correctly.
+func TestFusionAmbiguityFallsBackToSolo(t *testing.T) {
+	kb := semnet.NewKB()
+	r := kb.Relation("r")
+	c := kb.ColorFor("seed")
+	a := kb.MustAddNode("a", c)
+	b := kb.MustAddNode("b", c)
+	mid := kb.MustAddNode("mid", kb.ColorFor("other"))
+	kb.MustAddLink(a, r, 1, mid)
+	kb.MustAddLink(b, r, 1, mid)
+
+	e, err := New(kb, WithReplicas(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	mkProg := func() *isa.Program {
+		p := isa.NewProgram()
+		p.SearchColor(c, 0, 0)
+		p.Propagate(0, 1, rules.Path(r), semnet.FuncAdd)
+		p.Barrier()
+		p.CollectNode(1)
+		return p
+	}
+	progs := []*isa.Program{mkProg(), mkProg()}
+	solo := soloReference(t, e, progs[0])
+
+	results, errs := e.SubmitBatch(context.Background(), progs)
+	for i := range progs {
+		if errs[i] != nil {
+			t.Fatalf("element %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(results[i].Collections, solo.Collections) {
+			t.Errorf("element %d: fallback collections diverge from solo", i)
+		}
+	}
+	st := e.Stats()
+	if st.FusedBatches != 0 {
+		t.Errorf("ambiguous batch counted as fused (%d)", st.FusedBatches)
+	}
+	if st.FusionRejects["ambiguous"] == 0 {
+		t.Errorf("no ambiguity reject counted: %v", st.FusionRejects)
+	}
+}
+
+// TestConcurrentFusedSubmitsMatchSequential drives the default
+// (fusion-enabled, cache-disabled) engine with concurrent distinct
+// queries: whatever mix of fused and solo rounds the scheduler
+// produces, every answer's collections must match the sequential
+// reference.
+func TestConcurrentFusedSubmitsMatchSequential(t *testing.T) {
+	g := fig15KB(t, 1600)
+	e, err := New(g.KB, WithReplicas(2), WithMaxBatch(8), WithResultCache(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	sources := make([]string, 0, 8)
+	for _, c := range queryConcepts(g, 8) {
+		sources = append(sources, inheritanceQuery(g, c))
+	}
+	want := sequentialReference(t, e, sources)
+
+	const submitters = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, submitters*len(sources))
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range sources {
+				src := sources[(w+i)%len(sources)]
+				res, err := e.SubmitSource(context.Background(), src)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !sameNames(res.Names(0), want[src].names) {
+					errs <- fmt.Errorf("names diverged from sequential for %q", src)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

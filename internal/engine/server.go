@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"math"
 	"net/http"
@@ -47,13 +48,47 @@ type QueryCollection struct {
 
 // QueryResponse is the JSON body answering POST /v1/query.
 type QueryResponse struct {
-	VirtualTime   string            `json:"virtual_time"`
-	VirtualPicos  int64             `json:"virtual_ps"`
-	WallMicros    int64             `json:"wall_us"`
-	Collections   []QueryCollection `json:"collections"`
-	ProgramHash   string            `json:"program_hash"`
-	Instructions  int               `json:"instructions"`
-	ServerMessage string            `json:"message,omitempty"`
+	VirtualTime  string            `json:"virtual_time"`
+	VirtualPicos int64             `json:"virtual_ps"`
+	WallMicros   int64             `json:"wall_us"`
+	Collections  []QueryCollection `json:"collections"`
+	ProgramHash  string            `json:"program_hash"`
+	Instructions int               `json:"instructions"`
+	// Fused marks a query served from a fused multi-query run; its
+	// virtual time is the fused run's end, not a solo-run time.
+	Fused         bool   `json:"fused,omitempty"`
+	ServerMessage string `json:"message,omitempty"`
+}
+
+// BatchQueryRequest is the JSON body of POST /v1/query/batch: up to
+// MaxBatchPrograms independent read-only queries submitted together.
+// Admitting a batch in one call lets the serving replica coalesce its
+// members into a single fused machine run (marker-plane query fusion).
+type BatchQueryRequest struct {
+	// Programs are SNAP assembly texts; element order is preserved in
+	// the response.
+	Programs []string `json:"programs"`
+	// TimeoutMillis bounds the whole batch's residence (queue + runs);
+	// 0 means no deadline beyond the server's.
+	TimeoutMillis int `json:"timeout_ms,omitempty"`
+}
+
+// MaxBatchPrograms bounds one /v1/query/batch request.
+const MaxBatchPrograms = 64
+
+// BatchElement is one positional outcome in a batch response: exactly
+// one of Result and Error is set. Error carries the same typed envelope
+// body a solo /v1/query request would have received for that program.
+type BatchElement struct {
+	Result *QueryResponse `json:"result,omitempty"`
+	Error  *ErrorBody     `json:"error,omitempty"`
+}
+
+// BatchQueryResponse is the JSON body answering POST /v1/query/batch.
+// The HTTP status is 200 whenever the batch itself was well-formed;
+// per-program failures are reported in their elements.
+type BatchQueryResponse struct {
+	Results []BatchElement `json:"results"`
 }
 
 // ErrorBody is the versioned error payload carried by every non-2xx
@@ -74,12 +109,14 @@ type ErrorEnvelope struct {
 
 // NewServer returns the engine's HTTP serving surface:
 //
-//	POST /v1/query  — run one SNAP assembly query (JSON or text/plain)
-//	GET  /v1/stats  — serving counters, per-stage latency, monitor state
-//	GET  /v1/health — per-replica quarantine state and overall status
+//	POST /v1/query       — run one SNAP assembly query (JSON or text/plain)
+//	POST /v1/query/batch — run up to MaxBatchPrograms queries, fused when possible
+//	GET  /v1/stats       — serving counters, per-stage latency, monitor state
+//	GET  /v1/health      — per-replica quarantine state and overall status
 func NewServer(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", e.handleQuery)
+	mux.HandleFunc("/v1/query/batch", e.handleQueryBatch)
 	mux.HandleFunc("/v1/stats", e.handleStats)
 	mux.HandleFunc("/v1/health", e.handleHealth)
 	return mux
@@ -130,6 +167,71 @@ func (e *Engine) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, e.queryResponse(prog, res, time.Since(start)))
 }
 
+func (e *Engine) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErrorCode(w, http.StatusMethodNotAllowed, "method_not_allowed", false, errors.New("POST required"))
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+	if err != nil {
+		writeErrorCode(w, http.StatusBadRequest, "bad_request", false, err)
+		return
+	}
+	var req BatchQueryRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeErrorCode(w, http.StatusBadRequest, "bad_request", false, err)
+		return
+	}
+	if len(req.Programs) == 0 {
+		writeErrorCode(w, http.StatusBadRequest, "bad_request", false, errors.New("empty batch"))
+		return
+	}
+	if len(req.Programs) > MaxBatchPrograms {
+		writeErrorCode(w, http.StatusBadRequest, "bad_request", false,
+			fmt.Errorf("batch of %d exceeds the %d-program bound", len(req.Programs), MaxBatchPrograms))
+		return
+	}
+
+	ctx := r.Context()
+	if req.TimeoutMillis > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMillis)*time.Millisecond)
+		defer cancel()
+	}
+
+	out := BatchQueryResponse{Results: make([]BatchElement, len(req.Programs))}
+	progs := make([]*isa.Program, 0, len(req.Programs))
+	indices := make([]int, 0, len(req.Programs)) // progs[j] answers element indices[j]
+	for i, src := range req.Programs {
+		prog, err := e.Compile(src)
+		if err != nil {
+			out.Results[i].Error = errorBody(err)
+			continue
+		}
+		progs = append(progs, prog)
+		indices = append(indices, i)
+	}
+
+	start := time.Now()
+	results, errs := e.SubmitBatch(ctx, progs)
+	wall := time.Since(start)
+	for j, i := range indices {
+		if errs[j] != nil {
+			out.Results[i].Error = errorBody(errs[j])
+			continue
+		}
+		resp := e.queryResponse(progs[j], results[j], wall)
+		out.Results[i].Result = &resp
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// errorBody classifies err into the typed per-element envelope body.
+func errorBody(err error) *ErrorBody {
+	_, code, retryable := classify(err)
+	return &ErrorBody{Code: code, Message: err.Error(), Retryable: retryable}
+}
+
 func (e *Engine) queryResponse(prog *isa.Program, res *machine.Result, wall time.Duration) QueryResponse {
 	kb := e.kb
 	out := QueryResponse{
@@ -138,6 +240,7 @@ func (e *Engine) queryResponse(prog *isa.Program, res *machine.Result, wall time
 		WallMicros:   wall.Microseconds(),
 		ProgramHash:  hashString(prog.Hash()),
 		Instructions: prog.Len(),
+		Fused:        res.Fused,
 	}
 	for _, coll := range res.Collections {
 		qc := QueryCollection{Instr: coll.Instr, Op: coll.Op.String()}

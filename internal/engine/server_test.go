@@ -253,3 +253,107 @@ func TestServerPlainTextBody(t *testing.T) {
 		t.Errorf("instructions = %d, want 3", out.Instructions)
 	}
 }
+
+// TestServerQueryBatch exercises POST /v1/query/batch: per-element
+// envelopes, order preservation, typed per-element errors, and the
+// fusion counters surfacing in /v1/stats.
+func TestServerQueryBatch(t *testing.T) {
+	g, srv := newTestServer(t, 800)
+	concepts := queryConcepts(g, 4)
+
+	req := BatchQueryRequest{Programs: []string{
+		inheritanceQuery(g, concepts[0]),
+		"this is not snap assembly",
+		inheritanceQuery(g, concepts[1]),
+		inheritanceQuery(g, concepts[2]),
+		inheritanceQuery(g, concepts[3]),
+	}}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(srv.URL+"/v1/query/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	var out BatchQueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != len(req.Programs) {
+		t.Fatalf("%d elements, want %d", len(out.Results), len(req.Programs))
+	}
+	for i, el := range out.Results {
+		if i == 1 {
+			if el.Error == nil || el.Error.Code == "" {
+				t.Errorf("element 1: want typed error envelope, got %+v", el)
+			}
+			if el.Result != nil {
+				t.Error("element 1: both result and error set")
+			}
+			continue
+		}
+		if el.Error != nil {
+			t.Errorf("element %d: %s: %s", i, el.Error.Code, el.Error.Message)
+			continue
+		}
+		if el.Result == nil || len(el.Result.Collections) != 1 {
+			t.Errorf("element %d: missing collections", i)
+		}
+		solo := postQuery(t, srv.URL, req.Programs[i])
+		if fmt.Sprint(el.Result.Collections) != fmt.Sprint(solo.Collections) {
+			t.Errorf("element %d: batch collections diverge from solo query", i)
+		}
+	}
+
+	sresp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats.FusedBatches == 0 {
+		t.Errorf("stats report no fused batches (rejects: %v)", st.Stats.FusionRejects)
+	}
+	if st.Stats.FusedQueries < 2 {
+		t.Errorf("fused queries = %d, want >= 2", st.Stats.FusedQueries)
+	}
+}
+
+// TestServerQueryBatchRejectsMalformed pins the whole-batch error
+// envelopes: wrong method, bad JSON, empty and oversized batches.
+func TestServerQueryBatchRejectsMalformed(t *testing.T) {
+	_, srv := newTestServer(t, 400)
+	post := func(body string) (int, ErrorEnvelope) {
+		resp, err := http.Post(srv.URL+"/v1/query/batch", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var e ErrorEnvelope
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return resp.StatusCode, e
+	}
+	if code, env := post("{not json"); code != http.StatusBadRequest || env.Error.Code != "bad_request" {
+		t.Errorf("bad JSON: %d/%s", code, env.Error.Code)
+	}
+	if code, _ := post(`{"programs":[]}`); code != http.StatusBadRequest {
+		t.Errorf("empty batch: %d", code)
+	}
+	big, _ := json.Marshal(BatchQueryRequest{Programs: make([]string, MaxBatchPrograms+1)})
+	if code, _ := post(string(big)); code != http.StatusBadRequest {
+		t.Errorf("oversized batch: %d", code)
+	}
+	resp, err := http.Get(srv.URL + "/v1/query/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET: %d", resp.StatusCode)
+	}
+}

@@ -27,6 +27,17 @@ func (s *shard) push(r *request) int {
 	return n
 }
 
+// pushAll appends a batch of requests under one critical section —
+// guaranteeing they sit contiguously in the queue, so one serving round
+// can drain (and fuse) them together — and returns the resulting depth.
+func (s *shard) pushAll(rs []*request) int {
+	s.mu.Lock()
+	s.q = append(s.q, rs...)
+	n := len(s.q) - s.head
+	s.mu.Unlock()
+	return n
+}
+
 // popN moves up to n oldest requests into dst and returns it. The
 // consumed prefix is released for reuse once the queue empties.
 func (s *shard) popN(n int, dst []*request) []*request {

@@ -89,6 +89,14 @@ type Stats struct {
 	Steals         uint64 `json:"steals"`
 	StolenQueries  uint64 `json:"stolen_queries"`
 
+	// Query-fusion counters: fused machine runs, the queries they
+	// coalesced, and queries kept out of fusion groups by reason
+	// ("mutating", "fn", "planes", "rules", "generation", "ambiguous",
+	// "error").
+	FusedBatches  uint64            `json:"fused_batches"`
+	FusedQueries  uint64            `json:"fused_queries"`
+	FusionRejects map[string]uint64 `json:"fusion_rejects,omitempty"`
+
 	CompileHits   uint64 `json:"compile_cache_hits"`
 	CompileMisses uint64 `json:"compile_cache_misses"`
 
@@ -144,6 +152,8 @@ type stats struct {
 	overloaded                                       uint64
 	batches, batchedQueries                          uint64
 	steals, stolenQueries                            uint64
+	fusedBatches, fusedQueries                       uint64
+	fusionRejects                                    map[string]uint64
 	maxBatch                                         int
 	cacheHits, cacheMisses                           uint64
 	resultHits, resultMisses, deduped                uint64
@@ -246,6 +256,28 @@ func (s *stats) restore() {
 }
 
 // icn accumulates a served query's interconnect traffic profile.
+// fusedRun records one fused machine run answering n queries: one run
+// latency observation, n completions.
+func (s *stats) fusedRun(d time.Duration, n int) {
+	s.mu.Lock()
+	s.runH.observe(d)
+	s.completed += uint64(n)
+	s.fusedBatches++
+	s.fusedQueries += uint64(n)
+	s.mu.Unlock()
+}
+
+// fusionReject counts one query kept out of (or dropped from) a fusion
+// group, by reason.
+func (s *stats) fusionReject(reason string) {
+	s.mu.Lock()
+	if s.fusionRejects == nil {
+		s.fusionRejects = make(map[string]uint64)
+	}
+	s.fusionRejects[reason]++
+	s.mu.Unlock()
+}
+
 func (s *stats) icn(messages, hops, bursts int64) {
 	s.mu.Lock()
 	s.icnMessages += uint64(messages)
@@ -314,6 +346,8 @@ func (s *stats) snapshot(queueDepth, idle, inFlight, resultEntries, healthy int)
 		MaxBatchSize:     s.maxBatch,
 		Steals:           s.steals,
 		StolenQueries:    s.stolenQueries,
+		FusedBatches:     s.fusedBatches,
+		FusedQueries:     s.fusedQueries,
 		CompileHits:      s.cacheHits,
 		CompileMisses:    s.cacheMisses,
 		ResultHits:       s.resultHits,
@@ -332,6 +366,12 @@ func (s *stats) snapshot(queueDepth, idle, inFlight, resultEntries, healthy int)
 		Compile:          s.compileH.snapshot(),
 		QueueWait:        s.queueH.snapshot(),
 		Run:              s.runH.snapshot(),
+	}
+	if len(s.fusionRejects) > 0 {
+		out.FusionRejects = make(map[string]uint64, len(s.fusionRejects))
+		for reason, n := range s.fusionRejects {
+			out.FusionRejects[reason] = n
+		}
 	}
 	if len(s.events) > 0 {
 		out.Events = make(map[string]uint64, len(s.events))

@@ -40,6 +40,27 @@ func (s MarkerSet) Union(o MarkerSet) MarkerSet {
 // Empty reports whether the set holds no markers.
 func (s MarkerSet) Empty() bool { return s.lo == 0 && s.hi == 0 }
 
+// Bits exposes the set as two 64-bit rows — bit i of lo is complex
+// marker i, bit i of hi is binary marker 64+i — matching the status
+// slab's row order so plane-masked store operations (semnet.Store
+// ClearRows) can take the mask without importing this package.
+func (s MarkerSet) Bits() (lo, hi uint64) { return s.lo, s.hi }
+
+// MarkerSetFromBits is the inverse of Bits.
+func MarkerSetFromBits(lo, hi uint64) MarkerSet { return MarkerSet{lo: lo, hi: hi} }
+
+// ForEach calls f for every marker in the set in ascending order.
+func (s MarkerSet) ForEach(f func(m semnet.MarkerID)) {
+	for w, word := range [2]uint64{s.lo, s.hi} {
+		base := semnet.MarkerID(w * 64)
+		for b := 0; word != 0; b, word = b+1, word>>1 {
+			if word&1 != 0 {
+				f(base + semnet.MarkerID(b))
+			}
+		}
+	}
+}
+
 // Count reports the number of markers in the set.
 func (s MarkerSet) Count() int { return popcount64(s.lo) + popcount64(s.hi) }
 
@@ -109,13 +130,52 @@ func (in *Instruction) Serializing() bool {
 // dependency in either direction, and so may overlap in the PU's issue
 // window (the β-parallelism condition: "there are no data dependencies in
 // the markers used").
+//
+// Serializing instructions — including COMM-END — are never independent:
+// they drain the window by definition, even though COMM-END itself
+// touches no markers. Query fusion must therefore NOT merge the
+// sub-programs' COMM-ENDs into one shared global barrier (which would
+// serialize against every plane); each fused sub-program keeps its own
+// termination, and the plane-level disjointness question is answered by
+// MarkerDisjoint instead.
 func Independent(a, b *Instruction) bool {
 	if a.Serializing() || b.Serializing() {
 		return false
 	}
+	return MarkerDisjoint(a, b)
+}
+
+// MarkerDisjoint reports whether a and b touch disjoint marker planes:
+// no write of either intersects the reads or writes of the other. Unlike
+// Independent it ignores the serializing property, so COMM-END (which
+// uses no markers) is disjoint with everything — the condition under
+// which renamed sub-programs may be concatenated into one fused program
+// without their instructions interfering.
+func MarkerDisjoint(a, b *Instruction) bool {
 	aw, bw := a.Writes(), b.Writes()
 	return !aw.Intersects(b.Reads()) && !aw.Intersects(bw) &&
 		!bw.Intersects(a.Reads())
+}
+
+// Markers returns the set of marker planes the program reads or writes.
+func (p *Program) Markers() MarkerSet {
+	var s MarkerSet
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		s = s.Union(in.Reads()).Union(in.Writes())
+	}
+	return s
+}
+
+// WriteSet returns the set of marker planes the program writes — the
+// rows a run of the program can dirty, used by the machine's masked
+// per-plane marker clear.
+func (p *Program) WriteSet() MarkerSet {
+	var s MarkerSet
+	for i := range p.Instrs {
+		s = s.Union(p.Instrs[i].Writes())
+	}
+	return s
 }
 
 // OverlapDegrees computes, for each instruction in the program, how many

@@ -57,6 +57,11 @@ type cluster struct {
 	recvBuf      []interMsg
 	sendBuf      []interMsg
 	lvlScratch   []uint16
+
+	// wideVals is the per-phase lane arena for wide tasks: each wide
+	// task's K value/origin lanes are a contiguous block, addressed by
+	// task.wideIdx. Backing storage is pooled across phases.
+	wideVals []laneVal
 }
 
 // icnRecvBatch bounds how many messages one mailbox drain grant moves.
@@ -160,6 +165,14 @@ type task struct {
 	seq      uint64 // heap tie-break: FIFO among equally ready tasks
 	isSource bool   // injected by PROPAGATE issue; does not mark its node
 	fromMsg  bool   // arrived through the ICN; owes a Consumed count
+
+	// Wide (plane-vectorized) execution of a fused plane group: mask is
+	// the active lane bitmap (0 = ordinary scalar task), wideGrp indexes
+	// the flush's wide plans, and wideIdx is the offset of this task's
+	// per-lane value/origin block in the cluster's arena.
+	mask    uint16
+	wideGrp int16
+	wideIdx int32
 }
 
 // transitMsg is a message awaiting relay by this cluster's CU.
@@ -216,7 +229,7 @@ func (r *relayRing) reset() { r.head, r.n = 0, 0 }
 // and the lane storage is pooled for the machine's lifetime.
 type visitTable struct {
 	epoch  uint64
-	combos []uint32     // packed (marker, rule, state), index = lane
+	combos []uint32 // packed (marker, rule, state), index = lane
 	lanes  [][]visitEntry
 	cap    int // node-table capacity; fixes every lane's length
 }
@@ -275,6 +288,7 @@ func (c *cluster) resetPhase() {
 	c.relayQ.reset()
 	c.visited.reset()
 	c.stats = phaseStats{}
+	c.wideVals = c.wideVals[:0]
 }
 
 // The task queue pops pending work in (ready, seq) order: marker units
@@ -399,12 +413,15 @@ func (c *cluster) heapPop() task {
 
 func (c *cluster) pendingTasks() int { return len(c.tasks) + len(c.srcRun) - c.srcHead }
 
-// childSpec is one propagation step produced by expanding a task.
+// childSpec is one propagation step produced by expanding a task. For
+// wide expansions, wideOff locates the child's per-lane value block in
+// the cluster arena and value is unused.
 type childSpec struct {
-	to    semnet.NodeID
-	state rules.State
-	value float32
-	level uint16
+	to      semnet.NodeID
+	state   rules.State
+	value   float32
+	level   uint16
+	wideOff int32
 }
 
 // expand performs the functional half of task processing, shared by both
@@ -451,6 +468,12 @@ func (c *cluster) expand(m *Machine, t task) (children []childSpec, cost timing.
 				merged := t.fn.Merge(old, value)
 				if merged != old {
 					c.store.SetValue(int(t.local), t.marker, merged, t.origin)
+				} else if fc := m.fusedCtx; fc != nil && value == old &&
+					c.store.Origin(int(t.local), t.marker) != t.origin {
+					// Equal-value delivery from a different origin during a
+					// fused run: the origin register is schedule-dependent
+					// here, so flag the run for per-query fallback.
+					fc.amb.Store(true)
 				}
 			}
 		}

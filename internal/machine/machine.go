@@ -46,7 +46,23 @@ type Machine struct {
 	// inj, when armed, injects deterministic hardware faults into runs
 	// (see SetFaultInjector). Clones start unarmed.
 	inj *fault.Injector
+
+	// dirty is the set of marker planes a run since the last ClearMarkers
+	// may have written (the union of each program's write set), so
+	// ClearMarkers can clear just those rows instead of the whole slab.
+	// Initialized full at construction/LoadKB/Clone out of caution —
+	// tests may poke stores directly — and exact thereafter.
+	dirty isa.MarkerSet
+
+	// fusedCtx is non-nil while RunFused executes, carrying the plane-
+	// group map and the origin-ambiguity flag; widePlans holds the
+	// current flush's wide schedules (lockstep engine only).
+	fusedCtx  *fusedRun
+	widePlans []widePlan
 }
+
+// allDirty marks every marker plane dirty.
+func allDirty() isa.MarkerSet { return isa.MarkerSetFromBits(^uint64(0), ^uint64(0)) }
 
 // New constructs a machine from cfg. A knowledge base must be loaded with
 // LoadKB before programs can run.
@@ -55,11 +71,12 @@ func New(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	m := &Machine{
-		cfg:  cfg,
-		cost: cfg.Cost,
-		net:  icn.New(cfg.Clusters, cfg.MailboxCap),
-		bar:  barrier.New(cfg.Clusters),
-		ctrl: timing.NewClock(timing.ControllerClock),
+		cfg:   cfg,
+		cost:  cfg.Cost,
+		net:   icn.New(cfg.Clusters, cfg.MailboxCap),
+		bar:   barrier.New(cfg.Clusters),
+		ctrl:  timing.NewClock(timing.ControllerClock),
+		dirty: allDirty(),
 	}
 	m.clusters = make([]*cluster, cfg.Clusters)
 	for i := range m.clusters {
@@ -149,6 +166,7 @@ func (m *Machine) LoadKB(kb *semnet.KB) error {
 	// it so the next concurrent phase starts workers over the new one.
 	m.Close()
 	m.kb, m.assign, m.localIdx, m.clusters = kb, assign, localIdx, clusters
+	m.dirty = allDirty()
 	// The fresh clusters carry unarmed arbiters; rewire the injector.
 	if m.inj != nil {
 		m.SetFaultInjector(m.inj)
@@ -189,6 +207,7 @@ func (m *Machine) Clone() (*Machine, error) {
 		net:      icn.New(m.cfg.Clusters, m.cfg.MailboxCap),
 		bar:      barrier.New(m.cfg.Clusters),
 		ctrl:     timing.NewClock(timing.ControllerClock),
+		dirty:    allDirty(),
 	}
 	r.clusters = make([]*cluster, len(m.clusters))
 	for i, c := range m.clusters {
@@ -222,6 +241,12 @@ type Result struct {
 	Time        timing.Time
 	Profile     *trace.Profile
 	Collections []Collection
+
+	// Fused marks a result demultiplexed from a fused multi-query run:
+	// Time is the fused run's end and Profile is shared with the other
+	// members, so the result is not reproducible by a solo run of the
+	// same program and must not enter bit-identity result caches.
+	Fused bool
 
 	kb *semnet.KB
 }
@@ -274,6 +299,7 @@ func (m *Machine) RunContext(ctx context.Context, prog *isa.Program) (*Result, e
 	corruptBefore := m.inj.Corrupting()
 	m.resetClocks()
 	m.curRules = prog.Rules
+	m.dirty = m.dirty.Union(prog.WriteSet())
 	st := &runState{
 		prof: &trace.Profile{},
 		res:  &Result{kb: m.kb},
@@ -367,11 +393,25 @@ func (st *runState) conflicts(in *isa.Instruction) bool {
 
 // ClearMarkers clears every marker at every node (between experiments).
 // This host-level reset charges no virtual time (the per-instruction path
-// is OpClearMarker), so it clears each store's whole status slab at once.
+// is OpClearMarker). Only planes a run could have written since the last
+// clear are touched — the masked per-plane clear that makes the reset
+// between (fused) queries proportional to the planes used, not the whole
+// 128-row slab.
 func (m *Machine) ClearMarkers() {
-	for _, c := range m.clusters {
-		c.store.ClearAllMarkers()
+	lo, hi := m.dirty.Bits()
+	if lo == 0 && hi == 0 {
+		return
 	}
+	if lo == ^uint64(0) && hi == ^uint64(0) {
+		for _, c := range m.clusters {
+			c.store.ClearAllMarkers()
+		}
+	} else {
+		for _, c := range m.clusters {
+			c.store.ClearRows(lo, hi)
+		}
+	}
+	m.dirty = isa.MarkerSet{}
 }
 
 // TestMarker reports whether marker mk is set at global node id.

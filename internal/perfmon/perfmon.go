@@ -41,6 +41,7 @@ const (
 	EvWorkSteal     // status: batch size stolen from a loaded shard
 	EvQueryShed     // status: in-flight count at admission rejection
 	EvResultHit     // status: low 24 bits of the cached virtual time
+	EvQueryFused    // status: queries coalesced into one fused run
 
 	// Resilience events, emitted by the fault layer and the engine's
 	// health machinery.
@@ -89,6 +90,8 @@ func (e EventCode) String() string {
 		return "query-shed"
 	case EvResultHit:
 		return "result-hit"
+	case EvQueryFused:
+		return "query-fused"
 	case EvFaultInjected:
 		return "fault-injected"
 	case EvReplicaQuarantined:

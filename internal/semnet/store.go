@@ -498,6 +498,40 @@ func (s *Store) ClearAllMarkers() {
 	}
 }
 
+// ClearRows clears only the marker rows named by the (lo, hi) plane
+// mask — bit i of lo selects complex marker i, bit i of hi selects
+// binary marker 64+i — and returns the number of rows cleared. This is
+// the masked analogue of ClearAllMarkers used between fused queries:
+// a fused run dirties at most its programs' write sets, so the machine
+// clears those planes instead of memclr'ing the whole 128-row slab.
+func (s *Store) ClearRows(lo, hi uint64) int {
+	hw := s.hostWords()
+	rows := 0
+	for w, word := range [2]uint64{lo, hi} {
+		base := w * 64
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			clear(s.status[base+b][:hw])
+			rows++
+		}
+	}
+	return rows
+}
+
+// RowsEqual reports whether markers a and b have bit-identical status
+// rows — the runtime precondition for executing clone propagates from a
+// fused plane group as one wide task stream.
+func (s *Store) RowsEqual(a, b MarkerID) bool {
+	ra, rb := s.status[a], s.status[b]
+	for w := 0; w < s.hostWords(); w++ {
+		if ra[w] != rb[w] {
+			return false
+		}
+	}
+	return true
+}
+
 // FuncAll applies fn with the given operand to the value register of every
 // node where m is set (FUNC-MARKER) and returns simulated words processed.
 // The bit row is scanned word-wise; the value updates are inherently

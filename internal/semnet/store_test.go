@@ -298,3 +298,51 @@ func TestBooleanOpsQuick(t *testing.T) {
 		}
 	}
 }
+
+func TestClearRowsMasked(t *testing.T) {
+	s := newStore(t, 70)
+	for _, m := range []MarkerID{0, 5, 63, Binary(0), Binary(7)} {
+		s.Set(13, m)
+		s.Set(69, m)
+	}
+	// Clear complex 5 and binary 7 only.
+	if rows := s.ClearRows(1<<5, 1<<7); rows != 2 {
+		t.Fatalf("ClearRows = %d rows, want 2", rows)
+	}
+	for _, m := range []MarkerID{5, Binary(7)} {
+		if s.Test(13, m) || s.Test(69, m) {
+			t.Fatalf("marker %d not cleared", m)
+		}
+	}
+	for _, m := range []MarkerID{0, 63, Binary(0)} {
+		if !s.Test(13, m) || !s.Test(69, m) {
+			t.Fatalf("marker %d spuriously cleared", m)
+		}
+	}
+	// Full mask == ClearAllMarkers.
+	if rows := s.ClearRows(^uint64(0), ^uint64(0)); rows != NumMarkers {
+		t.Fatalf("full ClearRows = %d rows", rows)
+	}
+	for _, m := range []MarkerID{0, 63, Binary(0)} {
+		if s.CountSet(m) != 0 {
+			t.Fatalf("marker %d survives full clear", m)
+		}
+	}
+}
+
+func TestRowsEqual(t *testing.T) {
+	s := newStore(t, 70)
+	s.Set(3, 1)
+	s.Set(69, 1)
+	s.Set(3, 2)
+	if s.RowsEqual(1, 2) {
+		t.Fatal("rows differ in word 2")
+	}
+	s.Set(69, 2)
+	if !s.RowsEqual(1, 2) {
+		t.Fatal("identical rows reported unequal")
+	}
+	if !s.RowsEqual(3, Binary(0)) {
+		t.Fatal("two empty rows must be equal")
+	}
+}

@@ -188,6 +188,9 @@ var (
 	WithReplicas = engine.WithReplicas
 	// WithMaxBatch bounds queries dispatched per replica round.
 	WithMaxBatch = engine.WithMaxBatch
+	// WithFusion bounds queries coalesced into one fused machine run
+	// (marker-plane query fusion); n <= 1 disables fusion.
+	WithFusion = engine.WithFusion
 	// WithQueueCap sets the engine's submit-queue capacity.
 	WithQueueCap = engine.WithQueueCap
 	// WithCacheCap bounds the engine's compile cache.

@@ -32,6 +32,12 @@
 //
 //	go run ./cmd/snapbench -fusion-o BENCH_FUSION.json
 //
+// With -opt-o it runs the program-optimizer suite (the same cold query
+// pool served with the compile-tier optimizer off and at full level)
+// and writes BENCH_OPT.json:
+//
+//	go run ./cmd/snapbench -opt-o BENCH_OPT.json
+//
 // -fence-hot-allocs N makes the run fail if the steady-state hot
 // serving path (16 replicas, result-cache hits) allocates more than N
 // times per query — the CI regression fence for the serving layer.
@@ -41,7 +47,9 @@
 // refined strategy's cut ratio undercuts semantic's by at least the
 // fraction F (CI uses 0.30). -fence-fusion-speedup F fails the run
 // unless fused cold serving at batch >= 4 delivers at least F times the
-// unfused cold throughput (CI uses 1.5).
+// unfused cold throughput (CI uses 1.5). -fence-opt-speedup F fails the
+// run unless optimized (O2) cold serving delivers at least F times the
+// unoptimized (O0) cold throughput (CI uses 1.1).
 //
 // See docs/PERF.md for the measurement methodology and the history of
 // what these numbers looked like before the host hot-path overhaul.
@@ -66,6 +74,7 @@ import (
 	"snap1/internal/partition"
 	"snap1/internal/rules"
 	"snap1/internal/semnet"
+	"snap1/internal/timing"
 )
 
 // Result is one benchmark's outcome in the JSON report.
@@ -78,6 +87,8 @@ type Result struct {
 	TasksPerOp    float64 `json:"tasks_per_phase,omitempty"`
 	NsPerTask     float64 `json:"ns_per_task,omitempty"`
 	QueriesPerSec float64 `json:"queries_per_sec,omitempty"`
+	VTimeMicros   float64 `json:"vtime_us,omitempty"`
+	MeanOverlap   float64 `json:"mean_overlap,omitempty"`
 }
 
 // Report is the full BENCH_PROPAGATE.json document.
@@ -99,10 +110,12 @@ func main() {
 	kernelOut := flag.String("kernel-o", "", "also run the store-kernel suite and write its JSON report here")
 	partitionOut := flag.String("partition-o", "", "also score the partition strategies and write their JSON report here")
 	fusionOut := flag.String("fusion-o", "", "also run the query-fusion suite and write its JSON report here")
+	optOut := flag.String("opt-o", "", "also run the program-optimizer suite and write its JSON report here")
 	fence := flag.Int64("fence-hot-allocs", -1, "fail if the hot serving path at 16 replicas exceeds this allocs/query (-1 disables)")
 	kernelFence := flag.Int64("fence-kernel-allocs", -1, "fail if any store kernel exceeds this allocs/op (-1 disables)")
 	partitionFence := flag.Float64("fence-partition-cut", -1, "fail unless refined beats semantic's cut ratio by at least this fraction (-1 disables)")
 	fusionFence := flag.Float64("fence-fusion-speedup", -1, "fail unless fused cold serving at batch >= 4 beats unfused cold throughput by at least this factor (-1 disables)")
+	optFence := flag.Float64("fence-opt-speedup", -1, "fail unless optimized (O2) cold serving beats unoptimized (O0) cold throughput by at least this factor (-1 disables)")
 	benchtime := flag.Duration("benchtime", 0, "minimum run time per benchmark (0 = testing default of 1s)")
 	flag.Parse()
 	if *benchtime > 0 {
@@ -115,7 +128,7 @@ func main() {
 	// The propagate report keeps its historical default (stdout); it is
 	// skipped only when the run asks solely for the engine, kernel, or
 	// partition report.
-	if *out != "" || (*engineOut == "" && *kernelOut == "" && *partitionOut == "" && *fusionOut == "") {
+	if *out != "" || (*engineOut == "" && *kernelOut == "" && *partitionOut == "" && *fusionOut == "" && *optOut == "") {
 		rep := Report{
 			GoVersion:  runtime.Version(),
 			GOOS:       runtime.GOOS,
@@ -144,6 +157,10 @@ func main() {
 
 	if *fusionOut != "" || *fusionFence >= 0 {
 		runFusionSuite(*fusionOut, *fusionFence)
+	}
+
+	if *optOut != "" || *optFence >= 0 {
+		runOptSuite(*optOut, *optFence)
 	}
 
 	if *kernelOut != "" {
@@ -225,6 +242,9 @@ func toResult(name string, br testing.BenchmarkResult) Result {
 	}
 	if v, ok := br.Extra["ns/task"]; ok {
 		r.NsPerTask = v
+	}
+	if v, ok := br.Extra["vtime_us"]; ok {
+		r.VTimeMicros = v
 	}
 	return r
 }
@@ -542,6 +562,142 @@ func fusionBench(w *kbgen.Workload, k int, mix string, fused bool) func(b *testi
 		b.StopTimer()
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(k), "ns/query")
 	}
+}
+
+// runOptSuite measures the compile-tier program optimizer end to end
+// through the engine: one cold query pool served with optimization off
+// (O0: queries run exactly as written) and at full level (O2: peephole
+// folding, dead-plane elimination, marker-plane renaming, overlap
+// scheduling). The pool's programs carry the redundancy a defensive
+// query frontend emits — a SET/FUNC scratch initialization, a
+// diagnostic propagation sweep nothing ever collects, and a
+// snapshot/clear/re-sweep sequence that reuses its sweep plane — so the
+// comparison spans every pass: dead code the machine would otherwise
+// execute faithfully, and a false WAR/WAW dependence whose removal lets
+// the scheduler pair the two live sweeps in one PU overlap window. Each
+// row also reports the workload's mean virtual time (vtime_us) and the
+// program's mean β-overlap degree (mean_overlap, O2 measured on the
+// rewrite). The fence fails the run unless O2 cold throughput is at
+// least the given factor times O0's and the mean overlap degree
+// strictly increased.
+func runOptSuite(path string, fence float64) {
+	w := kbgen.Chains(1, 128, 8, 1)
+	rep := Report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workload:   "alpha=128 depth-8 chains, PaperConfig (16 clusters), 1 replica, cold serving (result cache off) of 256 distinct queries; each query carries a SET/FUNC scratch pair, a dead diagnostic PATH sweep, and a snapshot/clear/re-sweep plane reuse; O0 = optimizer off, O2 = full pass pipeline",
+	}
+	sample := optProgram(w, 0)
+	overlap := map[int]float64{
+		0: meanOverlap(sample),
+		2: meanOverlap(isa.Optimize(sample, isa.OptConfig{Level: isa.OptFull}).Program),
+	}
+	qps := map[int]float64{}
+	for _, lvl := range []int{0, 2} {
+		br := testing.Benchmark(optBench(w, lvl))
+		r := toResult(fmt.Sprintf("opt_serving/cold/O%d", lvl), br)
+		r.QueriesPerSec = float64(br.N) / br.T.Seconds()
+		r.MeanOverlap = overlap[lvl]
+		qps[lvl] = r.QueriesPerSec
+		rep.Results = append(rep.Results, r)
+	}
+	writeReport(rep, path)
+	if fence >= 0 {
+		if qps[2] < qps[0]*fence {
+			log.Fatalf("opt fence: O2 cold throughput %.0f q/s is only %.2fx the O0 %.0f q/s, fence is %.2fx",
+				qps[2], qps[2]/qps[0], qps[0], fence)
+		}
+		if overlap[2] <= overlap[0] {
+			log.Fatalf("opt fence: mean overlap degree did not increase (O0 %.3f, O2 %.3f)",
+				overlap[0], overlap[2])
+		}
+	}
+}
+
+// meanOverlap reports the program's mean β-overlap degree: the average,
+// over all instructions, of how many immediately preceding instructions
+// each can share the PU's issue window with.
+func meanOverlap(p *isa.Program) float64 {
+	sum := 0
+	for _, d := range isa.OverlapDegrees(p) {
+		sum += d
+	}
+	return float64(sum) / float64(p.Len())
+}
+
+// optBench builds one optimizer-suite benchmark: sequential cold
+// serving of a 256-query pool on a single replica at the given
+// optimizer level.
+func optBench(w *kbgen.Workload, lvl int) func(b *testing.B) {
+	return func(b *testing.B) {
+		cfg := machine.PaperConfig()
+		cfg.Deterministic = true
+		e, err := engine.New(w.KB,
+			engine.WithReplicas(1), engine.WithMachineConfig(cfg),
+			engine.WithQueueCap(4096), engine.WithResultCache(0),
+			engine.WithOptLevel(lvl))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer e.Close()
+
+		const poolSize = 256
+		pool := make([]*isa.Program, poolSize)
+		for i := range pool {
+			pool[i] = optProgram(w, i)
+		}
+		// One pass over the pool up front: pool bring-up and the one-time
+		// optimization of each program happen off the clock, so the
+		// measured loop is pure cold serving.
+		for _, p := range pool {
+			if _, err := e.Submit(context.Background(), p); err != nil {
+				b.Fatal(err)
+			}
+		}
+
+		var vtime timing.Time
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := e.Submit(context.Background(), pool[i%poolSize])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Collected(0)) == 0 {
+				b.Fatal("empty collection")
+			}
+			vtime += res.Time
+		}
+		b.StopTimer()
+		b.ReportMetric(timing.Time(float64(vtime)/float64(b.N)).Microseconds(), "vtime_us")
+	}
+}
+
+// optProgram builds one pool member for the optimizer suite: the
+// canonical chain query wrapped in the redundancy a defensive frontend
+// emits — a scratch plane initialized with a SET/FUNC pair, a
+// diagnostic PATH sweep onto it that nothing ever collects, and a
+// snapshot/clear/re-sweep sequence that reuses the sweep plane. The
+// reuse is a false WAR/WAW dependence: once renaming moves the second
+// sweep onto its own plane, the scheduler can pair it with the first in
+// one PU overlap window. The variant value makes members hash
+// distinctly at identical execution cost.
+func optProgram(w *kbgen.Workload, variant int) *isa.Program {
+	p := isa.NewProgram()
+	p.Set(3, 0)
+	p.Func(3, semnet.FuncAdd, 1)
+	p.SearchColor(w.Seeds[0], 0, float32(variant))
+	p.Propagate(0, 1, rules.Path(w.Rel), semnet.FuncAdd)
+	p.Propagate(0, 3, rules.Path(w.Rel), semnet.FuncAdd) // diagnostic sweep: dead
+	p.Or(1, 1, 2, semnet.FuncAdd)                        // snapshot the first sweep
+	p.ClearM(1)                                          // reuse the sweep plane
+	p.Propagate(0, 1, rules.Path(w.Rel), semnet.FuncAdd) // re-derivation sweep
+	p.Barrier()
+	p.CollectNode(2)
+	p.CollectNode(1)
+	return p
 }
 
 // kernelBench is one entry of the store-kernel suite.

@@ -80,6 +80,7 @@ func main() {
 	queryTimeout := flag.Duration("query-timeout", 10*time.Second, "per-attempt query deadline (0 disables)")
 	retries := flag.Int("retries", 3, "total execution attempts per query (1 disables retries)")
 	fusion := flag.Int("fusion", 8, "max queries coalesced into one fused run (1 disables query fusion)")
+	optLevel := flag.Int("opt", 2, "program optimizer level: 0 runs queries as written, 1 folds and eliminates dead planes, 2 adds plane renaming and overlap scheduling")
 	flag.Parse()
 
 	kb, err := loadKB(*kbPath, *gen, *domain, *seed)
@@ -97,6 +98,7 @@ func main() {
 		engine.WithQueryTimeout(*queryTimeout),
 		engine.WithRetryPolicy(engine.RetryPolicy{MaxAttempts: *retries}),
 		engine.WithFusion(*fusion),
+		engine.WithOptLevel(*optLevel),
 		engine.WithMachineOptions(
 			machine.WithClusters(*clusters),
 			machine.WithMarkerUnits(2, 0),

@@ -15,6 +15,7 @@
 //	assembly → rule/program compilation (LRU-cached by content hash)
 //	         → result cache (by Program.Hash + KB generation)
 //	         → singleflight (identical in-flight queries collapse)
+//	         → program optimization (isa.Optimize, cached by content hash)
 //	         → execution on a pooled replica → collection
 //
 // Admission control sheds load instead of queueing without bound: a
@@ -117,6 +118,18 @@ type Config struct {
 	// quarantine accounting are per-query, and a fused run would
 	// spread one injected fault across unrelated queries.
 	Fusion int
+	// OptLevel selects the compile-tier program optimizer level applied
+	// to every admitted query (isa.Optimize): 0 selects the default
+	// (isa.OptFull), negative disables optimization, and OptBasic/OptFull
+	// select the pass set explicitly. Optimization products are cached by
+	// program content hash, so a hot query is rewritten once. The engine
+	// optimizes under the serving profile (final marker state is not
+	// observable across queries), which collections are immune to:
+	// optimized results are bit-identical to the unoptimized program's,
+	// while virtual times may only improve. An optimized run that trips
+	// the machine's runtime origin-ambiguity backstop transparently
+	// re-runs the unoptimized program (counted in Stats.OptFallbacks).
+	OptLevel int
 }
 
 // Validate reports every invalid field of the configuration in one
@@ -137,6 +150,9 @@ func (c Config) Validate() error {
 	nonNeg("MaxInFlight", c.MaxInFlight)
 	if c.QueryTimeout < 0 {
 		errs = append(errs, fmt.Errorf("QueryTimeout must be >= 0, got %v", c.QueryTimeout))
+	}
+	if c.OptLevel > isa.OptFull {
+		errs = append(errs, fmt.Errorf("OptLevel must be <= %d (isa.OptFull), got %d", isa.OptFull, c.OptLevel))
 	}
 	errs = append(errs, c.Retry.validate()...)
 	errs = append(errs, c.Health.validate()...)
@@ -241,6 +257,20 @@ func WithFusion(n int) Option {
 	}
 }
 
+// WithOptLevel sets the compile-tier optimizer level applied to every
+// admitted query: isa.OptBasic (folding and dead-plane elimination) or
+// isa.OptFull (adds marker-plane renaming and overlap scheduling, the
+// default); n <= 0 disables optimization and queries run as written.
+func WithOptLevel(n int) Option {
+	return func(c *Config) {
+		if n <= 0 {
+			c.OptLevel = -1
+		} else {
+			c.OptLevel = n
+		}
+	}
+}
+
 func defaultMachineConfig() machine.Config {
 	mc := machine.PaperConfig()
 	mc.Deterministic = true
@@ -251,10 +281,21 @@ func defaultMachineConfig() machine.Config {
 type request struct {
 	ctx      context.Context
 	prog     *isa.Program
+	opt      *isa.Optimized // optimization product; nil when disabled
 	hash     uint64
 	gen      uint64 // KB generation at admission; fusion groups within one
 	resp     chan response
 	enqueued time.Time
+}
+
+// runProg is the program the replica should execute: the optimizer's
+// rewrite when one exists and actually changed something, else the
+// program as submitted.
+func (r *request) runProg() *isa.Program {
+	if r.opt != nil && r.opt.Changed() {
+		return r.opt.Program
+	}
+	return r.prog
 }
 
 type response struct {
@@ -288,6 +329,7 @@ type Engine struct {
 
 	cache   *lruCache[uint64, *isa.Program] // assembly-source hash -> program
 	valid   sync.Map                        // program content hash -> struct{}: validated
+	opts    sync.Map                        // program content hash -> *isa.Optimized
 	results *resultCache                    // nil when disabled
 	flights *flightGroup                    // nil when results is nil
 
@@ -327,6 +369,9 @@ func New(kb *semnet.KB, opts ...Option) (*Engine, error) {
 	}
 	if cfg.FaultPlan != nil {
 		cfg.Fusion = 1
+	}
+	if cfg.OptLevel == 0 {
+		cfg.OptLevel = isa.OptFull
 	}
 	if cfg.Machine.Clusters == 0 {
 		cfg.Machine = defaultMachineConfig()
@@ -443,9 +488,12 @@ func (e *Engine) KB() *semnet.KB { return e.kb }
 // context's cancellation/deadline, or engine shutdown. Each query runs
 // on a pool replica with fresh marker state; collections are identical
 // to a sequential Machine.Run of the same program on a fresh machine.
-// So is the virtual time, unless the serving round coalesced the query
-// into a fused multi-query run (Config.Fusion): a fused member's
-// Result carries the fused run's end time and is marked Fused. With
+// The reported virtual time is that of the engine's optimized rewrite
+// of the program (Config.OptLevel; run as written under WithOptLevel(0),
+// where the time too matches the sequential run) — unless the serving
+// round coalesced the query into a fused multi-query run
+// (Config.Fusion): a fused member's Result carries the fused run's end
+// time and is marked Fused. With
 // result caching active (the default on deterministic pools), a repeat
 // of a completed query returns the memoized Result — bit-identical,
 // virtual time included — and concurrent identical submissions collapse
@@ -506,10 +554,10 @@ func (e *Engine) Submit(ctx context.Context, prog *isa.Program) (*machine.Result
 	}
 }
 
-// execute admits a validated query, enqueues it on its hash shard
-// (rotated by the attempt number, skipping quarantined replicas), and
-// waits for the serving replica's response.
-func (e *Engine) execute(ctx context.Context, prog *isa.Program, h uint64, attempt int) (*machine.Result, error) {
+// execute admits a validated (and already optimized) query, enqueues
+// it on its hash shard (rotated by the attempt number, skipping
+// quarantined replicas), and waits for the serving replica's response.
+func (e *Engine) execute(ctx context.Context, prog *isa.Program, opt *isa.Optimized, h uint64, attempt int) (*machine.Result, error) {
 	select {
 	case <-e.done:
 		return nil, ErrClosed
@@ -531,7 +579,7 @@ func (e *Engine) execute(ctx context.Context, prog *isa.Program, h uint64, attem
 	defer e.inflight.Add(-1)
 
 	req := &request{
-		ctx: ctx, prog: prog, hash: h, gen: e.kb.Generation(),
+		ctx: ctx, prog: prog, opt: opt, hash: h, gen: e.kb.Generation(),
 		resp: make(chan response, 1), enqueued: time.Now(),
 	}
 	depth := e.shards[e.pickShard(h, attempt)].push(req)
@@ -548,6 +596,29 @@ func (e *Engine) execute(ctx context.Context, prog *isa.Program, h uint64, attem
 	case <-e.done:
 		return nil, ErrClosed
 	}
+}
+
+// optimize runs the compile-tier optimizer over a validated program,
+// memoized by content hash so a hot query is rewritten once. The engine
+// optimizes for the serving profile: replicas clear marker state between
+// queries, so only collections are observable and end-of-program marker
+// writes are dead. Returns nil when optimization is disabled.
+func (e *Engine) optimize(prog *isa.Program, h uint64) *isa.Optimized {
+	if e.cfg.OptLevel <= isa.OptNone {
+		return nil
+	}
+	if v, ok := e.opts.Load(h); ok {
+		return v.(*isa.Optimized)
+	}
+	opt := isa.Optimize(prog, isa.OptConfig{Level: e.cfg.OptLevel})
+	if v, loaded := e.opts.LoadOrStore(h, opt); loaded {
+		return v.(*isa.Optimized)
+	}
+	if opt.Changed() {
+		e.st.optimized(opt.InstrsEliminated, opt.PlanesFreed)
+		e.emit(-1, perfmon.EvProgramOptimized, uint32(opt.InstrsEliminated), 0)
+	}
+	return opt
 }
 
 // shed records an admission rejection and returns ErrOverloaded.
@@ -673,7 +744,23 @@ func (e *Engine) runOne(rank int, m *machine.Machine, req *request) {
 	}
 	m.ClearMarkers()
 	start := time.Now()
-	res, err := m.RunContext(req.ctx, req.prog)
+	var res *machine.Result
+	var err error
+	if opt := req.opt; opt != nil && opt.Changed() {
+		// Strict mode: the machine's origin-tie detector backstops the
+		// optimizer's equivalence argument. A detected tie discards the
+		// optimized run and re-runs the program as submitted.
+		res, err = m.RunOptimized(req.ctx, opt.Program)
+		if errors.Is(err, machine.ErrOptAmbiguous) {
+			e.st.optFallback()
+			m.ClearMarkers()
+			res, err = m.RunContext(req.ctx, req.prog)
+		} else if err == nil {
+			res.RemapInstrs(opt.OrigIndex)
+		}
+	} else {
+		res, err = m.RunContext(req.ctx, req.prog)
+	}
 	e.st.run(time.Since(start), err)
 	switch {
 	case err == nil:

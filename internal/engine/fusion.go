@@ -43,12 +43,15 @@ func (e *Engine) fusionGroup(batch *[]*request) []*request {
 	if e.cfg.Fusion <= 1 || len(rest) == 0 {
 		return b[:1:1]
 	}
-	if ok, reason := isa.Fusable(first.prog); !ok {
+	if ok, reason := isa.Fusable(first.runProg()); !ok {
 		e.st.fusionReject(reason)
 		return b[:1:1]
 	}
 	group := []*request{first}
-	cpx, bin := isa.PlaneDemand(first.prog)
+	// Fusion plans over the optimizer's rewrites (request.runProg): the
+	// renaming pass packs each member's webs onto fewer planes, so an
+	// optimized group fits more queries into the status slab's rows.
+	cpx, bin := isa.PlaneDemand(first.runProg())
 	keep := rest[:0]
 	for _, req := range rest {
 		if len(group) >= e.cfg.Fusion {
@@ -60,12 +63,12 @@ func (e *Engine) fusionGroup(batch *[]*request) []*request {
 			keep = append(keep, req)
 			continue
 		}
-		if ok, reason := isa.Fusable(req.prog); !ok {
+		if ok, reason := isa.Fusable(req.runProg()); !ok {
 			e.st.fusionReject(reason)
 			keep = append(keep, req)
 			continue
 		}
-		cq, bq := isa.PlaneDemand(req.prog)
+		cq, bq := isa.PlaneDemand(req.runProg())
 		if cpx+cq > semnet.NumComplexMarkers || bin+bq > semnet.NumBinaryMarkers {
 			e.st.fusionReject(isa.FuseReasonPlanes)
 			keep = append(keep, req)
@@ -105,7 +108,7 @@ func (e *Engine) runFused(rank int, m *machine.Machine, group []*request) bool {
 
 	progs := make([]*isa.Program, len(live))
 	for i, req := range live {
-		progs[i] = req.prog
+		progs[i] = req.runProg()
 	}
 	f, err := isa.Fuse(progs)
 	if err != nil {
@@ -141,6 +144,11 @@ func (e *Engine) runFused(rank int, m *machine.Machine, group []*request) bool {
 	e.emit(rank, perfmon.EvQueryFused, uint32(len(live)), res.Time)
 	parts := res.Demux(f)
 	for i, req := range live {
+		if req.opt != nil && req.opt.Changed() {
+			// The member ran in its optimized form: hand collections
+			// back under the instruction indices the caller submitted.
+			parts[i].RemapInstrs(req.opt.OrigIndex)
+		}
 		e.emit(rank, perfmon.EvQueryDone, uint32(parts[i].Time), parts[i].Time)
 		req.resp <- response{res: parts[i]}
 	}
@@ -208,6 +216,13 @@ func (e *Engine) SubmitBatch(ctx context.Context, progs []*isa.Program) ([]*mach
 		return results, errs
 	}
 
+	// Optimization is compile-tier work: run it (once per content hash)
+	// before admission, so it never occupies queue or in-flight slots.
+	opts := make([]*isa.Optimized, len(pending))
+	for j, i := range pending {
+		opts[j] = e.optimize(progs[i], progs[i].Hash())
+	}
+
 	// Admission control covers the whole pending set at once.
 	n := int64(len(pending))
 	if q := e.queued.Add(n); int(q) > e.cfg.QueueCap {
@@ -234,7 +249,8 @@ func (e *Engine) SubmitBatch(ctx context.Context, progs []*isa.Program) ([]*mach
 	reqs := make([]*request, len(pending))
 	for j, i := range pending {
 		reqs[j] = &request{
-			ctx: ctx, prog: progs[i], hash: progs[i].Hash(), gen: gen,
+			ctx: ctx, prog: progs[i], opt: opts[j], hash: progs[i].Hash(),
+			gen:  gen,
 			resp: make(chan response, 1), enqueued: time.Now(),
 		}
 	}

@@ -97,6 +97,9 @@ func attemptRetryable(err error) bool {
 // retryable failures re-execute (on a rotated shard) with exponential
 // backoff until the budget or the caller's context runs out.
 func (e *Engine) executeRetry(ctx context.Context, prog *isa.Program, h uint64) (*machine.Result, error) {
+	// Optimization is compile-tier work: it runs (once per content hash)
+	// before admission, so it never occupies a queue or in-flight slot.
+	opt := e.optimize(prog, h)
 	var lastErr error
 	for attempt := 0; attempt < e.cfg.Retry.MaxAttempts; attempt++ {
 		if attempt > 0 {
@@ -117,7 +120,7 @@ func (e *Engine) executeRetry(ctx context.Context, prog *isa.Program, h uint64) 
 		if e.cfg.QueryTimeout > 0 {
 			actx, cancel = context.WithTimeout(ctx, e.cfg.QueryTimeout)
 		}
-		res, err := e.execute(actx, prog, h, attempt)
+		res, err := e.execute(actx, prog, opt, h, attempt)
 		if cancel != nil {
 			cancel()
 		}

@@ -100,6 +100,16 @@ type Stats struct {
 	CompileHits   uint64 `json:"compile_cache_hits"`
 	CompileMisses uint64 `json:"compile_cache_misses"`
 
+	// Optimizer counters: distinct programs the compile-tier optimizer
+	// rewrote, the instructions those rewrites deleted, the marker-plane
+	// demand they handed back to the fusion planner, and optimized runs
+	// that tripped the runtime origin-ambiguity backstop and re-ran the
+	// program as submitted.
+	OptPrograms         uint64 `json:"opt_programs"`
+	OptInstrsEliminated uint64 `json:"opt_instrs_eliminated"`
+	OptPlanesFreed      uint64 `json:"opt_planes_freed"`
+	OptFallbacks        uint64 `json:"opt_fallbacks"`
+
 	// Result-cache counters: hits served without touching a replica,
 	// misses that went to execution, queries collapsed onto an
 	// identical in-flight execution (singleflight), and the cache's
@@ -156,6 +166,7 @@ type stats struct {
 	fusionRejects                                    map[string]uint64
 	maxBatch                                         int
 	cacheHits, cacheMisses                           uint64
+	optPrograms, optInstrs, optPlanes, optFallbacks  uint64
 	resultHits, resultMisses, deduped                uint64
 	retries, retriesExhausted                        uint64
 	quarantines, restores                            uint64
@@ -210,6 +221,24 @@ func (s *stats) steal(size int) {
 func (s *stats) cacheHit() {
 	s.mu.Lock()
 	s.cacheHits++
+	s.mu.Unlock()
+}
+
+// optimized records one distinct program the optimizer rewrote and
+// what the rewrite bought: instructions deleted and planes freed.
+func (s *stats) optimized(instrs, planes int) {
+	s.mu.Lock()
+	s.optPrograms++
+	s.optInstrs += uint64(instrs)
+	s.optPlanes += uint64(planes)
+	s.mu.Unlock()
+}
+
+// optFallback records one optimized run discarded by the machine's
+// origin-ambiguity detector and re-run unoptimized.
+func (s *stats) optFallback() {
+	s.mu.Lock()
+	s.optFallbacks++
 	s.mu.Unlock()
 }
 
@@ -331,41 +360,45 @@ func (s *stats) snapshot(queueDepth, idle, inFlight, resultEntries, healthy int)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := Stats{
-		Replicas:         s.replicas,
-		IdleReplicas:     idle,
-		QueueDepth:       queueDepth,
-		InFlight:         inFlight,
-		Submitted:        s.submitted,
-		Completed:        s.completed,
-		Failed:           s.failed,
-		Canceled:         s.canceled,
-		Rejected:         s.rejected,
-		Overloaded:       s.overloaded,
-		Batches:          s.batches,
-		BatchedQueries:   s.batchedQueries,
-		MaxBatchSize:     s.maxBatch,
-		Steals:           s.steals,
-		StolenQueries:    s.stolenQueries,
-		FusedBatches:     s.fusedBatches,
-		FusedQueries:     s.fusedQueries,
-		CompileHits:      s.cacheHits,
-		CompileMisses:    s.cacheMisses,
-		ResultHits:       s.resultHits,
-		ResultMisses:     s.resultMisses,
-		DedupedQueries:   s.deduped,
-		ResultCacheSize:  resultEntries,
-		Retries:          s.retries,
-		RetriesExhausted: s.retriesExhausted,
-		Quarantines:      s.quarantines,
-		Restores:         s.restores,
-		ICNMessages:      s.icnMessages,
-		ICNHops:          s.icnHops,
-		ICNBursts:        s.icnBursts,
-		HealthyReplicas:  healthy,
-		Degraded:         healthy < s.replicas,
-		Compile:          s.compileH.snapshot(),
-		QueueWait:        s.queueH.snapshot(),
-		Run:              s.runH.snapshot(),
+		Replicas:            s.replicas,
+		IdleReplicas:        idle,
+		QueueDepth:          queueDepth,
+		InFlight:            inFlight,
+		Submitted:           s.submitted,
+		Completed:           s.completed,
+		Failed:              s.failed,
+		Canceled:            s.canceled,
+		Rejected:            s.rejected,
+		Overloaded:          s.overloaded,
+		Batches:             s.batches,
+		BatchedQueries:      s.batchedQueries,
+		MaxBatchSize:        s.maxBatch,
+		Steals:              s.steals,
+		StolenQueries:       s.stolenQueries,
+		FusedBatches:        s.fusedBatches,
+		FusedQueries:        s.fusedQueries,
+		CompileHits:         s.cacheHits,
+		CompileMisses:       s.cacheMisses,
+		OptPrograms:         s.optPrograms,
+		OptInstrsEliminated: s.optInstrs,
+		OptPlanesFreed:      s.optPlanes,
+		OptFallbacks:        s.optFallbacks,
+		ResultHits:          s.resultHits,
+		ResultMisses:        s.resultMisses,
+		DedupedQueries:      s.deduped,
+		ResultCacheSize:     resultEntries,
+		Retries:             s.retries,
+		RetriesExhausted:    s.retriesExhausted,
+		Quarantines:         s.quarantines,
+		Restores:            s.restores,
+		ICNMessages:         s.icnMessages,
+		ICNHops:             s.icnHops,
+		ICNBursts:           s.icnBursts,
+		HealthyReplicas:     healthy,
+		Degraded:            healthy < s.replicas,
+		Compile:             s.compileH.snapshot(),
+		QueueWait:           s.queueH.snapshot(),
+		Run:                 s.runH.snapshot(),
 	}
 	if len(s.fusionRejects) > 0 {
 		out.FusionRejects = make(map[string]uint64, len(s.fusionRejects))

@@ -1,18 +1,40 @@
 package isa
 
-import "snap1/internal/semnet"
+import (
+	"fmt"
+
+	"snap1/internal/semnet"
+)
 
 // MarkerSet is a bitset over the 128 marker registers, used for the data
 // dependency analysis that lets the processing unit overlap independent
 // PROPAGATE statements (β-parallelism, Section II-C).
 type MarkerSet struct{ lo, hi uint64 }
 
-// Add inserts marker m.
+// Add inserts marker m. An out-of-range ID panics: silently dropping it
+// would under-report dependencies and let the overlap window or the
+// optimizer's renaming corrupt results without a trace. Marker IDs come
+// from validated instructions, so a bad one here is a compiler bug, not
+// user input.
 func (s *MarkerSet) Add(m semnet.MarkerID) {
 	if m < 64 {
 		s.lo |= 1 << m
 	} else if m < semnet.NumMarkers {
 		s.hi |= 1 << (m - 64)
+	} else {
+		panic(fmt.Sprintf("isa: MarkerSet.Add: marker %d out of range [0,%d)", m, semnet.NumMarkers))
+	}
+}
+
+// Remove deletes marker m from the set. Out-of-range IDs panic, as in
+// Add.
+func (s *MarkerSet) Remove(m semnet.MarkerID) {
+	if m < 64 {
+		s.lo &^= 1 << m
+	} else if m < semnet.NumMarkers {
+		s.hi &^= 1 << (m - 64)
+	} else {
+		panic(fmt.Sprintf("isa: MarkerSet.Remove: marker %d out of range [0,%d)", m, semnet.NumMarkers))
 	}
 }
 

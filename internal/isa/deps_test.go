@@ -21,7 +21,6 @@ func TestMarkerSetBasics(t *testing.T) {
 	s.Add(63)
 	s.Add(64)
 	s.Add(127)
-	s.Add(200) // out of range: ignored
 	if s.Count() != 4 {
 		t.Fatalf("Count = %d", s.Count())
 	}
@@ -32,6 +31,42 @@ func TestMarkerSetBasics(t *testing.T) {
 	}
 	if s.Contains(1) || s.Contains(200) {
 		t.Error("spurious membership")
+	}
+	s.Remove(63)
+	s.Remove(64)
+	if s.Count() != 2 || s.Contains(63) || s.Contains(64) {
+		t.Errorf("after Remove: count=%d", s.Count())
+	}
+	if !s.Contains(0) || !s.Contains(127) {
+		t.Error("Remove deleted the wrong markers")
+	}
+}
+
+// Out-of-range marker IDs must panic rather than be silently dropped:
+// a dropped bit under-reports dependencies, which would let the overlap
+// window (or the optimizer's plane renaming) reorder conflicting
+// instructions without any visible failure.
+func TestMarkerSetBounds(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s on out-of-range marker did not panic", name)
+			}
+		}()
+		f()
+	}
+	var s MarkerSet
+	mustPanic("Add", func() { s.Add(semnet.NumMarkers) })
+	mustPanic("Add", func() { s.Add(200) })
+	mustPanic("Remove", func() { s.Remove(semnet.NumMarkers) })
+	if !s.Empty() {
+		t.Error("failed Add mutated the set")
+	}
+	// The boundary IDs themselves are fine.
+	s.Add(semnet.NumMarkers - 1)
+	if !s.Contains(semnet.NumMarkers - 1) {
+		t.Error("highest valid marker rejected")
 	}
 }
 
@@ -150,5 +185,53 @@ func TestOverlapDegrees(t *testing.T) {
 		if degs[i] != want[i] {
 			t.Fatalf("degs = %v, want %v", degs, want)
 		}
+	}
+}
+
+// A serializing instruction contributes degree zero itself AND caps the
+// lookback of everything after it: the window drains at the boundary,
+// so overlap never reaches across.
+func TestOverlapDegreesSerializingBoundary(t *testing.T) {
+	spec := rules.Path(1)
+	p := NewProgram()
+	p.Propagate(1, 2, spec, semnet.FuncNop)   // deg 0
+	p.Propagate(3, 4, spec, semnet.FuncNop)   // deg 1
+	p.CollectNode(70)                         // serializing: deg 0
+	p.Propagate(5, 6, spec, semnet.FuncNop)   // deg 0: blocked by the collect
+	p.Propagate(7, 8, spec, semnet.FuncNop)   // deg 1: window restarts after it
+	p.Barrier()                               // COMM-END: deg 0
+	p.Propagate(10, 11, spec, semnet.FuncNop) // deg 0 again
+	degs := OverlapDegrees(p)
+	want := []int{0, 1, 0, 0, 1, 0, 0}
+	for i := range want {
+		if degs[i] != want[i] {
+			t.Fatalf("degs = %v, want %v", degs, want)
+		}
+	}
+}
+
+// M3-writing ops (AND/OR) must conflict through their destination in
+// every hazard direction, and NOT-MARKER through M2.
+func TestIndependentM3Writes(t *testing.T) {
+	and := Instruction{Op: OpAndMarker, M1: 1, M2: 2, M3: 3, Fn: semnet.FuncNop}
+	raw := prop(3, 9) // reads AND's destination
+	if Independent(&and, &raw) {
+		t.Error("RAW through an AND destination missed")
+	}
+	war := prop(8, 1) // writes AND's operand
+	if Independent(&and, &war) {
+		t.Error("WAR against an AND operand missed")
+	}
+	waw := Instruction{Op: OpOrMarker, M1: 4, M2: 5, M3: 3, Fn: semnet.FuncNop}
+	if Independent(&and, &waw) {
+		t.Error("WAW between boolean destinations missed")
+	}
+	not := Instruction{Op: OpNotMarker, M1: 6, M2: 3}
+	if Independent(&and, &not) {
+		t.Error("NOT writes M2: WAW with the AND destination missed")
+	}
+	okA := Instruction{Op: OpAndMarker, M1: 4, M2: 5, M3: 6, Fn: semnet.FuncNop}
+	if !Independent(&and, &okA) {
+		t.Error("fully disjoint boolean ops must be independent")
 	}
 }

@@ -1,0 +1,54 @@
+package machine
+
+import (
+	"context"
+	"errors"
+
+	"snap1/internal/isa"
+)
+
+// ErrOptAmbiguous reports that an optimized run observed an equal-value,
+// distinct-origin marker delivery tie — the one observable the
+// optimizer's reordering could in principle perturb. The run's results
+// are discarded and the caller re-runs the unoptimized program.
+var ErrOptAmbiguous = errors.New("machine: optimized run hit origin-ambiguous value tie")
+
+// RunOptimized executes an optimizer-rewritten program in strict mode:
+// the origin-tie detector used by fused runs is armed (with no wide
+// groups, so every instruction executes exactly as in a plain run), and
+// a detected tie fails the run with ErrOptAmbiguous instead of
+// committing a schedule-dependent origin register. The optimizer's
+// passes preserve all same-plane orderings, so ties should resolve
+// identically to the unoptimized program; the detector is the runtime
+// backstop that turns any gap in that argument into a clean fallback
+// rather than a silently different answer. Collection.Instr indices
+// refer to the optimized instruction stream; callers remap them through
+// Optimized.OrigIndex (Result.RemapInstrs).
+func (m *Machine) RunOptimized(ctx context.Context, p *isa.Program) (*Result, error) {
+	fc := &fusedRun{groupOf: make([]int16, len(p.Instrs))}
+	for i := range fc.groupOf {
+		fc.groupOf[i] = -1
+	}
+	m.fusedCtx = fc
+	res, err := m.RunContext(ctx, p)
+	m.fusedCtx = nil
+	if err != nil {
+		return nil, err
+	}
+	if fc.amb.Load() {
+		return nil, ErrOptAmbiguous
+	}
+	return res, nil
+}
+
+// RemapInstrs rewrites every collection's Instr index through
+// origIndex (optimized position → original position), so callers keep
+// addressing collections by the program they submitted. Out-of-range
+// indices are left untouched.
+func (r *Result) RemapInstrs(origIndex []int) {
+	for i := range r.Collections {
+		if c := &r.Collections[i]; c.Instr >= 0 && c.Instr < len(origIndex) {
+			c.Instr = origIndex[c.Instr]
+		}
+	}
+}

@@ -54,6 +54,11 @@ const (
 	// the barrier — the counters the partitioning/placement work targets.
 	EvCutTraffic // status: inter-cluster activations this phase (cut links exercised)
 	EvHopTraffic // status: port-to-port ICN transfers this phase
+
+	// EvProgramOptimized is emitted by the engine once per distinct
+	// program its compile-tier optimizer rewrote; status carries the
+	// instruction count the rewrite deleted.
+	EvProgramOptimized
 )
 
 func (e EventCode) String() string {
@@ -104,6 +109,8 @@ func (e EventCode) String() string {
 		return "cut-traffic"
 	case EvHopTraffic:
 		return "hop-traffic"
+	case EvProgramOptimized:
+		return "program-optimized"
 	default:
 		return "none"
 	}

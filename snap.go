@@ -191,6 +191,9 @@ var (
 	// WithFusion bounds queries coalesced into one fused machine run
 	// (marker-plane query fusion); n <= 1 disables fusion.
 	WithFusion = engine.WithFusion
+	// WithOptLevel sets the engine's compile-tier optimizer level
+	// (OptBasic or OptFull, the default); n <= 0 runs queries as written.
+	WithOptLevel = engine.WithOptLevel
 	// WithQueueCap sets the engine's submit-queue capacity.
 	WithQueueCap = engine.WithQueueCap
 	// WithCacheCap bounds the engine's compile cache.
@@ -218,6 +221,31 @@ var (
 	// LoadFaultPlan reads and validates a JSON fault plan from a file.
 	LoadFaultPlan = fault.Load
 )
+
+// Optimizer levels (engine WithOptLevel; library Optimize).
+const (
+	// OptNone runs programs as written.
+	OptNone = isa.OptNone
+	// OptBasic runs peephole folding and dead-plane elimination.
+	OptBasic = isa.OptBasic
+	// OptFull adds marker-plane renaming and overlap list scheduling.
+	OptFull = isa.OptFull
+)
+
+// OptConfig parameterizes Optimize.
+type OptConfig = isa.OptConfig
+
+// Optimized is an optimization product: the rewritten program plus the
+// metadata mapping its results back onto the original instruction
+// stream (see Optimized.OrigIndex and Result collections' Instr).
+type Optimized = isa.Optimized
+
+// Optimize rewrites a program under the compile-tier optimizer
+// (peephole folding, dead-plane elimination, marker-plane renaming,
+// overlap scheduling). Collections are bit-identical to the original
+// program's; set OptConfig.PreserveMarkers when final marker state must
+// be preserved too. Ineligible programs pass through unchanged.
+func Optimize(p *Program, cfg OptConfig) *Optimized { return isa.Optimize(p, cfg) }
 
 // Marker function codes.
 const (

@@ -38,6 +38,15 @@
 //
 //	go run ./cmd/snapbench -opt-o BENCH_OPT.json
 //
+// With -write-o it runs the online write-path suite on the 16K-node
+// MUC-4-style knowledge base at the paper's 16-cluster, 16-replica
+// configuration: per-replica incremental delta replay against a full
+// LoadKB re-download for a <=1% topology mutation, and read latency
+// under sustained write churn against quiet serving, and writes
+// BENCH_WRITE.json:
+//
+//	go run ./cmd/snapbench -write-o BENCH_WRITE.json
+//
 // -fence-hot-allocs N makes the run fail if the steady-state hot
 // serving path (16 replicas, result-cache hits) allocates more than N
 // times per query — the CI regression fence for the serving layer.
@@ -49,7 +58,11 @@
 // unless fused cold serving at batch >= 4 delivers at least F times the
 // unfused cold throughput (CI uses 1.5). -fence-opt-speedup F fails the
 // run unless optimized (O2) cold serving delivers at least F times the
-// unoptimized (O0) cold throughput (CI uses 1.1).
+// unoptimized (O0) cold throughput (CI uses 1.1). -fence-delta-speedup F
+// fails the run unless per-replica delta replay of the <=1% mutation
+// batch is at least F times faster than the full LoadKB re-download it
+// replaces (CI uses 20); the write suite also fails unconditionally if
+// any read errors under write churn.
 //
 // See docs/PERF.md for the measurement methodology and the history of
 // what these numbers looked like before the host hot-path overhaul.
@@ -63,6 +76,9 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -111,11 +127,13 @@ func main() {
 	partitionOut := flag.String("partition-o", "", "also score the partition strategies and write their JSON report here")
 	fusionOut := flag.String("fusion-o", "", "also run the query-fusion suite and write its JSON report here")
 	optOut := flag.String("opt-o", "", "also run the program-optimizer suite and write its JSON report here")
+	writeOut := flag.String("write-o", "", "also run the online write-path suite and write its JSON report here")
 	fence := flag.Int64("fence-hot-allocs", -1, "fail if the hot serving path at 16 replicas exceeds this allocs/query (-1 disables)")
 	kernelFence := flag.Int64("fence-kernel-allocs", -1, "fail if any store kernel exceeds this allocs/op (-1 disables)")
 	partitionFence := flag.Float64("fence-partition-cut", -1, "fail unless refined beats semantic's cut ratio by at least this fraction (-1 disables)")
 	fusionFence := flag.Float64("fence-fusion-speedup", -1, "fail unless fused cold serving at batch >= 4 beats unfused cold throughput by at least this factor (-1 disables)")
 	optFence := flag.Float64("fence-opt-speedup", -1, "fail unless optimized (O2) cold serving beats unoptimized (O0) cold throughput by at least this factor (-1 disables)")
+	deltaFence := flag.Float64("fence-delta-speedup", -1, "fail unless per-replica delta replay beats the full LoadKB re-download by at least this factor (-1 disables)")
 	benchtime := flag.Duration("benchtime", 0, "minimum run time per benchmark (0 = testing default of 1s)")
 	flag.Parse()
 	if *benchtime > 0 {
@@ -128,7 +146,7 @@ func main() {
 	// The propagate report keeps its historical default (stdout); it is
 	// skipped only when the run asks solely for the engine, kernel, or
 	// partition report.
-	if *out != "" || (*engineOut == "" && *kernelOut == "" && *partitionOut == "" && *fusionOut == "" && *optOut == "") {
+	if *out != "" || (*engineOut == "" && *kernelOut == "" && *partitionOut == "" && *fusionOut == "" && *optOut == "" && *writeOut == "") {
 		rep := Report{
 			GoVersion:  runtime.Version(),
 			GOOS:       runtime.GOOS,
@@ -161,6 +179,10 @@ func main() {
 
 	if *optOut != "" || *optFence >= 0 {
 		runOptSuite(*optOut, *optFence)
+	}
+
+	if *writeOut != "" || *deltaFence >= 0 {
+		runWriteSuite(*writeOut, *deltaFence)
 	}
 
 	if *kernelOut != "" {
@@ -698,6 +720,320 @@ func optProgram(w *kbgen.Workload, variant int) *isa.Program {
 	p.CollectNode(2)
 	p.CollectNode(1)
 	return p
+}
+
+// WriteReport is the full BENCH_WRITE.json document: the online
+// write-path suite's two measurements — per-replica incremental delta
+// replay against the full LoadKB re-download it replaces, and read
+// latency under sustained write churn against quiet serving.
+type WriteReport struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Workload   string `json:"workload"`
+
+	// Delta replay vs full re-download, one serving replica.
+	DeltaRecords int     `json:"delta_records"`  // mutation batch size (<=1% of nodes)
+	DeltaApplyUs float64 `json:"delta_apply_us"` // replaying one batch in place
+	FullReloadUs float64 `json:"full_reload_us"` // full LoadKB re-download
+	DeltaSpeedup float64 `json:"delta_speedup"`
+
+	// Read latency under write churn, 16-replica serving.
+	ReadsPerPhase    int     `json:"reads_per_phase"`
+	QuietP50Us       float64 `json:"quiet_p50_us"`
+	QuietP99Us       float64 `json:"quiet_p99_us"`
+	QuietReadsPerSec float64 `json:"quiet_reads_per_sec"`
+	ChurnP50Us       float64 `json:"churn_p50_us"`
+	ChurnP99Us       float64 `json:"churn_p99_us"`
+	ChurnReadsPerSec float64 `json:"churn_reads_per_sec"`
+	P99Ratio         float64 `json:"p99_ratio"`
+	FailedReads      int     `json:"failed_reads"`
+	Writes           uint64  `json:"writes"`
+	WriteCommits     uint64  `json:"write_commits"`
+	DeltasApplied    uint64  `json:"deltas_applied"`
+	FullReloads      uint64  `json:"full_reloads"`
+}
+
+// runWriteSuite measures the online write path on the 16K-node
+// MUC-4-style knowledge base at the paper's 16-cluster configuration.
+//
+// Part one is the tentpole economics: a <=1% topology mutation batch
+// (one percent of the nodes each gaining or losing a link) is brought
+// onto a loaded replica two ways — replaying the KB's delta records in
+// place (what syncReplica does at a batch boundary) against a full
+// LoadKB re-download (what every write used to cost every replica) —
+// and the fence fails the run unless replay wins by the given factor.
+//
+// Part two serves 16 replicas with the result cache off and compares
+// read latency quantiles over an identical read set, quiet versus under
+// sustained SubmitWrite churn from background writers. Reads never
+// block on writes by construction, so the suite fails unconditionally
+// if any read errors under churn; the p50/p99 quantiles and the ratio
+// land in the report for the record.
+func runWriteSuite(path string, fence float64) {
+	const nodes = 16000
+	g, err := kbgen.Generate(kbgen.Params{Nodes: nodes, Seed: 42, WithDomain: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	kb := g.KB
+	kb.EnableDeltaLog(0)
+	kb.Preprocess()
+	cfg := machine.PaperConfig()
+	cfg.Deterministic = true
+	if need := (kb.NumNodes() + cfg.Clusters - 1) / cfg.Clusters; need > cfg.NodesPerCluster {
+		cfg.NodesPerCluster = need
+	}
+	n := kb.NumNodes()
+	batch := nodes / 100 // the <=1% mutation batch
+
+	rep := WriteReport{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workload: fmt.Sprintf("16K-node MUC-4-style KB (%d nodes post-preprocess), PaperConfig (%d clusters); delta = %d-link mutation batch replayed on one replica vs full LoadKB; churn = 16-replica serving, result cache off, reads measured quiet then under background SubmitWrite link toggles",
+			n, cfg.Clusters, batch),
+		DeltaRecords:  batch,
+		ReadsPerPhase: 12000,
+	}
+
+	// --- Part 1: delta replay vs full re-download, one replica. ---
+	m, err := machine.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.LoadKB(kb); err != nil {
+		log.Fatal(err)
+	}
+	// Mutation sources need slot headroom: the array cannot split
+	// subnodes at runtime, so a link added to a node whose 16 relation
+	// slots are full is a conflict the write path refuses. The bench
+	// targets what the write path would admit.
+	var cand []semnet.NodeID
+	for id := 0; id < n; id++ {
+		nd, err := kb.Node(semnet.NodeID(id))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(nd.Out) <= semnet.RelationSlots-2 {
+			cand = append(cand, semnet.NodeID(id))
+		}
+	}
+	if len(cand) < batch {
+		log.Fatalf("write suite: only %d nodes with relation-slot headroom, need %d", len(cand), batch)
+	}
+	rel := kb.Relation("bench-write")
+	pairAt := func(k, i int) (semnet.NodeID, semnet.NodeID) {
+		return cand[(k*batch+i)%len(cand)], semnet.NodeID((k*batch + i*7 + 1) % n)
+	}
+	const rounds = 32 // even count: every added link is removed again
+	var deltaNs int64
+	for r := 0; r < rounds; r++ {
+		from := m.KBGeneration()
+		for i := 0; i < batch; i++ {
+			a, b := pairAt(r/2, i)
+			if r%2 == 0 {
+				if err := kb.AddLink(a, rel, 1, b); err != nil {
+					log.Fatal(err)
+				}
+			} else if !kb.RemoveLink(a, rel, b) {
+				log.Fatalf("write suite: link %d->%d vanished before removal", a, b)
+			}
+		}
+		to := kb.Generation()
+		recs, ok := kb.DeltaRange(from, to)
+		if !ok {
+			log.Fatal("write suite: delta log truncated under one mutation batch")
+		}
+		start := time.Now()
+		if err := m.ApplyDelta(recs, to); err != nil {
+			log.Fatal(err)
+		}
+		deltaNs += time.Since(start).Nanoseconds()
+	}
+	m.Close()
+	deltaPerOp := float64(deltaNs) / rounds
+
+	// Full re-download: best of a few runs (the conservative comparison —
+	// replay is scored on its mean, reload on its floor).
+	m2, err := machine.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reloadNs := int64(1 << 62)
+	for i := 0; i < 4; i++ {
+		start := time.Now()
+		if err := m2.LoadKB(kb); err != nil {
+			log.Fatal(err)
+		}
+		if d := time.Since(start).Nanoseconds(); i > 0 && d < reloadNs {
+			reloadNs = d // first run warms; best of the rest
+		}
+	}
+	m2.Close()
+
+	rep.DeltaApplyUs = deltaPerOp / 1e3
+	rep.FullReloadUs = float64(reloadNs) / 1e3
+	rep.DeltaSpeedup = float64(reloadNs) / deltaPerOp
+
+	// --- Part 2: read latency quiet vs under write churn, 16 replicas. ---
+	e, err := engine.New(kb,
+		engine.WithReplicas(16), engine.WithMachineConfig(cfg),
+		engine.WithQueueCap(4096), engine.WithResultCache(0),
+		engine.WithWrites(true))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer e.Close()
+
+	readProg := func(variant int) *isa.Program {
+		p := isa.NewProgram()
+		p.SearchNode(g.Leaves[variant%len(g.Leaves)], 0, float32(variant))
+		p.Propagate(0, 1, rules.Path(g.Rel.IsA), semnet.FuncAdd)
+		p.Barrier()
+		p.CollectNode(1)
+		return p
+	}
+	// The collector stays off for both measured phases (and each starts
+	// from a freshly collected heap): a GC cycle landing inside one
+	// ~250ms phase but not the other would swamp the quantile it hits,
+	// and the comparison targets write-path interference, not
+	// GC-scheduling luck. Both phases get identical treatment, so the
+	// ratio stays an honest churn-vs-quiet measure.
+	oldGC := debug.SetGCPercent(-1)
+	defer debug.SetGCPercent(oldGC)
+
+	// Open-loop measurement: each reader paces its submissions well
+	// under serving capacity, so a latency sample is the engine's
+	// response to that read alone — if reads never block on writes, the
+	// churn quantiles match the quiet ones. (A closed-loop reader pool
+	// instead couples every sample to total machine load: any slowdown
+	// stretches the phase, admits more churn, and compounds — a
+	// feedback measurement of the host, not of write blocking.)
+	const workers = 4
+	const readPace = 250 * time.Microsecond
+	measure := func() (lat []float64, persec float64, failed int) {
+		runtime.GC()
+		total := rep.ReadsPerPhase
+		lat = make([]float64, total)
+		var fail atomic.Int64
+		var wg sync.WaitGroup
+		per := total / workers
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					time.Sleep(readPace)
+					p := readProg(w*per + i)
+					t0 := time.Now()
+					_, err := e.Submit(context.Background(), p)
+					lat[w*per+i] = float64(time.Since(t0).Nanoseconds()) / 1e3
+					if err != nil {
+						fail.Add(1)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		sort.Float64s(lat)
+		return lat, float64(total) / time.Since(start).Seconds(), int(fail.Load())
+	}
+
+	// Warm the pool, then the quiet baseline.
+	for i := 0; i < workers; i++ {
+		if _, err := e.Submit(context.Background(), readProg(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	quiet, quietQPS, quietFail := measure()
+
+	// Background write churn: each writer toggles its own link pairs
+	// through SubmitWrite, so every commit publishes a new epoch and
+	// every serving replica pays a delta replay at its next boundary.
+	// Writers are paced to a few hundred mutations per second — online
+	// KB maintenance traffic, orders of magnitude rarer than queries.
+	// An unthrottled tight loop instead measures CPU starvation, and a
+	// commit every serving round splinters rounds into per-generation
+	// fusion cohorts, measuring fusion loss rather than write blocking.
+	const writePace = 20 * time.Millisecond
+	stop := make(chan struct{})
+	var writerWg sync.WaitGroup
+	var writeErrs atomic.Int64
+	wrel := kb.Relation("churn-write")
+	for w := 0; w < 2; w++ {
+		writerWg.Add(1)
+		go func(w int) {
+			defer writerWg.Done()
+			for k := 0; ; k++ {
+				select {
+				case <-stop:
+					return
+				case <-time.After(writePace):
+				}
+				pair := k / 2
+				a := cand[(w*len(cand)/2+pair*3)%len(cand)]
+				b := semnet.NodeID((w*nodes/2 + pair*11 + 5) % n)
+				p := isa.NewProgram()
+				if k%2 == 0 {
+					p.Create(a, wrel, 1, b)
+				} else {
+					p.Delete(a, wrel, b)
+				}
+				if _, err := e.SubmitWrite(context.Background(), p); err != nil {
+					writeErrs.Add(1)
+				}
+			}
+		}(w)
+	}
+	// Let churn reach steady state off the clock: the first commits make
+	// each replica pay its one-time copy-on-write table materialization
+	// before the measured phase starts.
+	for i := 0; i < 400; i++ {
+		_, _ = e.Submit(context.Background(), readProg(i))
+	}
+	churn, churnQPS, churnFail := measure()
+	close(stop)
+	writerWg.Wait()
+	st := e.Stats()
+
+	pct := func(sorted []float64, p float64) float64 {
+		return sorted[int(p*float64(len(sorted)-1))]
+	}
+	rep.QuietP50Us, rep.QuietP99Us = pct(quiet, 0.50), pct(quiet, 0.99)
+	rep.ChurnP50Us, rep.ChurnP99Us = pct(churn, 0.50), pct(churn, 0.99)
+	rep.QuietReadsPerSec, rep.ChurnReadsPerSec = quietQPS, churnQPS
+	rep.P99Ratio = rep.ChurnP99Us / rep.QuietP99Us
+	rep.FailedReads = quietFail + churnFail
+	rep.Writes = st.Writes
+	rep.WriteCommits = st.WriteCommits
+	rep.DeltasApplied = st.DeltasApplied
+	rep.FullReloads = st.FullReloads
+
+	if path != "" {
+		enc, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	if rep.FailedReads > 0 {
+		log.Fatalf("write suite: %d read(s) failed (%d quiet, %d under churn); reads must never fail under write churn",
+			rep.FailedReads, quietFail, churnFail)
+	}
+	if n := writeErrs.Load(); n > 0 {
+		log.Fatalf("write suite: %d background write(s) failed", n)
+	}
+	if fence >= 0 && rep.DeltaSpeedup < fence {
+		log.Fatalf("delta fence: replaying the %d-record batch takes %.0fus vs %.0fus full reload — only %.1fx, fence is %.1fx",
+			batch, rep.DeltaApplyUs, rep.FullReloadUs, rep.DeltaSpeedup, fence)
+	}
 }
 
 // kernelBench is one entry of the store-kernel suite.

@@ -12,8 +12,11 @@
 //
 //	POST /v1/query   {"program": "<SNAP assembly>", "timeout_ms": 1000}
 //	                 (or Content-Type: text/plain with raw assembly)
+//	POST /v1/mutate  topology-mutating programs (requires -writes);
+//	                 commits through the serialized writer and publishes
+//	                 a new KB epoch before answering
 //	GET  /v1/stats   serving counters, batch/steal/shed stats, cache
-//	                 hit rates, per-stage latency
+//	                 hit rates, per-stage latency, write/delta counters
 //	GET  /v1/health  per-replica quarantine state and overall status
 //
 // Every non-2xx response carries the typed error envelope
@@ -81,6 +84,7 @@ func main() {
 	retries := flag.Int("retries", 3, "total execution attempts per query (1 disables retries)")
 	fusion := flag.Int("fusion", 8, "max queries coalesced into one fused run (1 disables query fusion)")
 	optLevel := flag.Int("opt", 2, "program optimizer level: 0 runs queries as written, 1 folds and eliminates dead planes, 2 adds plane renaming and overlap scheduling")
+	writes := flag.Bool("writes", false, "accept topology-mutating programs on POST /v1/mutate (epoch-versioned online KB writes)")
 	flag.Parse()
 
 	kb, err := loadKB(*kbPath, *gen, *domain, *seed)
@@ -99,6 +103,7 @@ func main() {
 		engine.WithRetryPolicy(engine.RetryPolicy{MaxAttempts: *retries}),
 		engine.WithFusion(*fusion),
 		engine.WithOptLevel(*optLevel),
+		engine.WithWrites(*writes),
 		engine.WithMachineOptions(
 			machine.WithClusters(*clusters),
 			machine.WithMarkerUnits(2, 0),

@@ -39,4 +39,18 @@ var (
 	// so the engine retries it automatically and HTTP clients see
 	// retryable=true.
 	ErrFaultInjected = fault.ErrInjected
+
+	// ErrWritesDisabled is returned by Engine.SubmitWrite when the engine
+	// was built without WithWrites(true).
+	ErrWritesDisabled = engine.ErrWritesDisabled
+
+	// ErrWriteConflict marks a write refused by current topology state
+	// (relation slots full, unknown node); retrying verbatim cannot
+	// succeed until the topology changes.
+	ErrWriteConflict = engine.ErrWriteConflict
+
+	// ErrWriteFailed marks a write whose execution failed after admission
+	// for any other reason; a committed prefix of its mutations may have
+	// published.
+	ErrWriteFailed = engine.ErrWriteFailed
 )

@@ -13,10 +13,11 @@ import (
 // query that hits them; both value types are immutable once published,
 // so sharing is safe.
 type lruCache[K comparable, V any] struct {
-	mu    sync.Mutex
-	cap   int
-	order *list.List          // front = most recently used
-	byKey map[K]*list.Element // value: *cacheEntry[K, V]
+	mu       sync.Mutex
+	cap      int
+	order    *list.List          // front = most recently used
+	byKey    map[K]*list.Element // value: *cacheEntry[K, V]
+	evictTot uint64              // lifetime capacity + sweep evictions
 }
 
 type cacheEntry[K comparable, V any] struct {
@@ -57,7 +58,47 @@ func (c *lruCache[K, V]) put(key K, val V) {
 		tail := c.order.Back()
 		c.order.Remove(tail)
 		delete(c.byKey, tail.Value.(*cacheEntry[K, V]).key)
+		c.evictTot++
 	}
+}
+
+// getOrPut returns the resident value for key, or inserts val and
+// returns it. One atomic step, so concurrent fillers agree on a single
+// shared value (the optimizer cache's contract).
+func (c *lruCache[K, V]) getOrPut(key K, val V) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*cacheEntry[K, V]).val, true
+	}
+	c.byKey[key] = c.order.PushFront(&cacheEntry[K, V]{key: key, val: val})
+	for c.order.Len() > c.cap {
+		tail := c.order.Back()
+		c.order.Remove(tail)
+		delete(c.byKey, tail.Value.(*cacheEntry[K, V]).key)
+		c.evictTot++
+	}
+	return val, false
+}
+
+// sweep removes every entry whose key the predicate selects, returning
+// the number removed.
+func (c *lruCache[K, V]) sweep(drop func(K) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		if key := el.Value.(*cacheEntry[K, V]).key; drop(key) {
+			c.order.Remove(el)
+			delete(c.byKey, key)
+			c.evictTot++
+			n++
+		}
+		el = next
+	}
+	return n
 }
 
 // len reports the resident entry count (test support).
@@ -65,6 +106,13 @@ func (c *lruCache[K, V]) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// evictions reports the lifetime eviction count (capacity + sweeps).
+func (c *lruCache[K, V]) evictions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictTot
 }
 
 // resultKey identifies a memoized query result: the program's content
@@ -99,3 +147,12 @@ func (c *resultCache) put(hash, gen uint64, res *machine.Result) {
 }
 
 func (c *resultCache) len() int { return c.lru.len() }
+
+// evictBefore sweeps out every entry memoized under a generation older
+// than gen and returns the number removed. A write publish calls it so
+// superseded-generation results — which can never be looked up again —
+// free their memory immediately instead of lingering until LRU pressure
+// pushes them out.
+func (c *resultCache) evictBefore(gen uint64) int {
+	return c.lru.sweep(func(k resultKey) bool { return k.gen < gen })
+}

@@ -22,10 +22,17 @@
 // full submit queue (QueueCap) or a reached in-flight ceiling
 // (MaxInFlight) fails fast with ErrOverloaded.
 //
-// Only read-only programs are accepted: replicas share the downloaded
+// Submit accepts only read-only programs: replicas share the downloaded
 // network topology, so topology-mutating instructions (CREATE, DELETE,
 // SET-COLOR, MARKER-CREATE, MARKER-DELETE, MARKER-SET-COLOR) are refused
 // at submit with ErrMutatingProgram.
+//
+// With Config.Writes enabled, mutating programs go through SubmitWrite
+// instead: they execute serialized on a dedicated writer machine over
+// the master KB and publish epoch-style (writer.go) — the KB generation
+// bump retires result-cache entries, and each replica patches itself
+// forward by replaying the KB's topology delta log at its next batch
+// boundary, so reads never block on writes and no global pause exists.
 package engine
 
 import (
@@ -130,6 +137,20 @@ type Config struct {
 	// the machine's runtime origin-ambiguity backstop transparently
 	// re-runs the unoptimized program (counted in Stats.OptFallbacks).
 	OptLevel int
+	// Writes enables the online mutation pipeline: SubmitWrite accepts
+	// topology-mutating programs, executed serialized on a dedicated
+	// writer machine and published epoch-style; replicas follow by
+	// incremental delta replay (writer.go). Off by default — a
+	// write-disabled engine serves a truly immutable snapshot.
+	Writes bool
+	// WriteQueueCap bounds writes queued for the serialized writer;
+	// SubmitWrite beyond it fails fast with ErrOverloaded (default 64).
+	WriteQueueCap int
+	// WriteBatch bounds how many adjacent queued writes the writer
+	// folds into one group commit — one epoch publish, one delta sync
+	// per replica — amortizing publish cost under write bursts
+	// (default 8).
+	WriteBatch int
 }
 
 // Validate reports every invalid field of the configuration in one
@@ -148,6 +169,8 @@ func (c Config) Validate() error {
 	nonNeg("QueueCap", c.QueueCap)
 	nonNeg("CacheCap", c.CacheCap)
 	nonNeg("MaxInFlight", c.MaxInFlight)
+	nonNeg("WriteQueueCap", c.WriteQueueCap)
+	nonNeg("WriteBatch", c.WriteBatch)
 	if c.QueryTimeout < 0 {
 		errs = append(errs, fmt.Errorf("QueryTimeout must be >= 0, got %v", c.QueryTimeout))
 	}
@@ -271,6 +294,10 @@ func WithOptLevel(n int) Option {
 	}
 }
 
+// WithWrites enables (or disables) the online mutation pipeline:
+// SubmitWrite and POST /v1/mutate.
+func WithWrites(on bool) Option { return func(c *Config) { c.Writes = on } }
+
 func defaultMachineConfig() machine.Config {
 	mc := machine.PaperConfig()
 	mc.Deterministic = true
@@ -327,11 +354,20 @@ type Engine struct {
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 
-	cache   *lruCache[uint64, *isa.Program] // assembly-source hash -> program
-	valid   sync.Map                        // program content hash -> struct{}: validated
-	opts    sync.Map                        // program content hash -> *isa.Optimized
-	results *resultCache                    // nil when disabled
-	flights *flightGroup                    // nil when results is nil
+	cache   *lruCache[uint64, *isa.Program]   // assembly-source hash -> program
+	valid   sync.Map                          // program content hash -> struct{}: validated
+	opts    *lruCache[uint64, *isa.Optimized] // program content hash -> optimization product
+	results *resultCache                      // nil when disabled
+	flights *flightGroup                      // nil when results is nil
+
+	// Write path (nil/zero unless Config.Writes; see writer.go). pubGen
+	// is the published KB generation — the epoch every new read
+	// observes; writeMu serializes writer execution against full-reload
+	// replica recovery, the one path that must see a quiescent KB.
+	writer  *machine.Machine
+	writeQ  chan *writeReq
+	writeMu sync.Mutex
+	pubGen  atomic.Uint64
 
 	st stats
 }
@@ -340,7 +376,9 @@ type Engine struct {
 // partitioned, and downloaded once into a prototype machine, which is
 // then cloned to the remaining pool replicas concurrently (bounded by
 // GOMAXPROCS) over shared-immutable topology tables. kb must not be
-// mutated for the engine's lifetime.
+// mutated externally for the engine's lifetime: without Config.Writes
+// it is a frozen snapshot, with it the engine's serialized writer is
+// the only legal mutator.
 func New(kb *semnet.KB, opts ...Option) (*Engine, error) {
 	cfg := Config{}
 	for _, o := range opts {
@@ -373,11 +411,22 @@ func New(kb *semnet.KB, opts ...Option) (*Engine, error) {
 	if cfg.OptLevel == 0 {
 		cfg.OptLevel = isa.OptFull
 	}
+	if cfg.WriteQueueCap <= 0 {
+		cfg.WriteQueueCap = 64
+	}
+	if cfg.WriteBatch <= 0 {
+		cfg.WriteBatch = 8
+	}
 	if cfg.Machine.Clusters == 0 {
 		cfg.Machine = defaultMachineConfig()
 	}
 	cfg.Retry = cfg.Retry.normalized()
 	cfg.Health = cfg.Health.normalized(cfg.QueryTimeout)
+	if cfg.Writes {
+		// Start recording mutations before anything loads, so every
+		// replica's bring-up generation is above the log's floor.
+		kb.EnableDeltaLog(0)
+	}
 	kb.Preprocess()
 	if need := (kb.NumNodes() + cfg.Machine.Clusters - 1) / cfg.Machine.Clusters; need > cfg.Machine.NodesPerCluster {
 		cfg.Machine.NodesPerCluster = need
@@ -413,6 +462,7 @@ func New(kb *semnet.KB, opts ...Option) (*Engine, error) {
 		start:    time.Now(),
 		done:     make(chan struct{}),
 		cache:    newLRUCache[uint64, *isa.Program](cfg.CacheCap),
+		opts:     newLRUCache[uint64, *isa.Optimized](cfg.CacheCap),
 	}
 	if cfg.ResultCacheCap > 0 && cfg.Machine.Deterministic {
 		e.results = newResultCache(cfg.ResultCacheCap)
@@ -423,6 +473,25 @@ func New(kb *semnet.KB, opts ...Option) (*Engine, error) {
 		e.health[i] = &replicaHealth{}
 	}
 	e.st.replicas = cfg.Replicas
+	e.pubGen.Store(e.kbGen)
+
+	if cfg.Writes {
+		// The dedicated writer is one more topology-sharing clone; it
+		// stays out of the serving ring and never arms fault injection,
+		// so the master KB's mutation history is exactly the committed
+		// write sequence.
+		w, err := proto.Clone()
+		if err != nil {
+			for _, m := range machines {
+				m.Close()
+			}
+			return nil, err
+		}
+		e.writer = w
+		e.writeQ = make(chan *writeReq, cfg.WriteQueueCap)
+		e.wg.Add(1)
+		go e.writeLoop()
+	}
 
 	e.wg.Add(cfg.Replicas)
 	for i := 0; i < cfg.Replicas; i++ {
@@ -484,6 +553,17 @@ func clonePool(proto *machine.Machine, replicas int) ([]*machine.Machine, error)
 // KB returns the engine's knowledge base (for name resolution).
 func (e *Engine) KB() *semnet.KB { return e.kb }
 
+// readGen is the KB generation a newly admitted read observes. With
+// writes enabled this is the published epoch — the master KB may
+// already be ahead inside an uncommitted write group — otherwise the
+// KB's own (static) generation.
+func (e *Engine) readGen() uint64 {
+	if e.writeQ != nil {
+		return e.pubGen.Load()
+	}
+	return e.kb.Generation()
+}
+
 // Submit enqueues a read-only program and blocks until its result, the
 // context's cancellation/deadline, or engine shutdown. Each query runs
 // on a pool replica with fresh marker state; collections are identical
@@ -516,7 +596,7 @@ func (e *Engine) Submit(ctx context.Context, prog *isa.Program) (*machine.Result
 		return e.executeRetry(ctx, prog, h)
 	}
 
-	gen := e.kb.Generation()
+	gen := e.readGen()
 	if res, ok := e.results.get(h, gen); ok {
 		e.st.resultHit()
 		e.emit(-1, perfmon.EvResultHit, uint32(res.Time), res.Time)
@@ -531,7 +611,10 @@ func (e *Engine) Submit(ctx context.Context, prog *isa.Program) (*machine.Result
 				// A fused result reports the fused run's end time, not
 				// the solo-reproducible time the cache's bit-identity
 				// contract promises — serve it, but don't memoize it.
-				e.results.put(h, gen, res)
+				// The entry is keyed by the generation the run actually
+				// observed (under write churn the serving replica may
+				// have synced past the admission epoch).
+				e.results.put(h, res.KBGen, res)
 			}
 			e.flights.finish(h, f, res, err)
 			return res, err
@@ -542,6 +625,13 @@ func (e *Engine) Submit(ctx context.Context, prog *isa.Program) (*machine.Result
 			if f.err != nil && retryable(f.err) {
 				// The leader's own context expired; this caller's query
 				// is still live — run the flight again.
+				continue
+			}
+			if f.err == nil && f.res.KBGen < gen {
+				// The leader ran against an epoch older than the one
+				// this caller was admitted under (a write published in
+				// between): its result would violate monotonic reads
+				// for this caller — execute afresh.
 				continue
 			}
 			return f.res, f.err
@@ -579,7 +669,7 @@ func (e *Engine) execute(ctx context.Context, prog *isa.Program, opt *isa.Optimi
 	defer e.inflight.Add(-1)
 
 	req := &request{
-		ctx: ctx, prog: prog, opt: opt, hash: h, gen: e.kb.Generation(),
+		ctx: ctx, prog: prog, opt: opt, hash: h, gen: e.readGen(),
 		resp: make(chan response, 1), enqueued: time.Now(),
 	}
 	depth := e.shards[e.pickShard(h, attempt)].push(req)
@@ -607,12 +697,12 @@ func (e *Engine) optimize(prog *isa.Program, h uint64) *isa.Optimized {
 	if e.cfg.OptLevel <= isa.OptNone {
 		return nil
 	}
-	if v, ok := e.opts.Load(h); ok {
-		return v.(*isa.Optimized)
+	if v, ok := e.opts.get(h); ok {
+		return v
 	}
 	opt := isa.Optimize(prog, isa.OptConfig{Level: e.cfg.OptLevel})
-	if v, loaded := e.opts.LoadOrStore(h, opt); loaded {
-		return v.(*isa.Optimized)
+	if v, loaded := e.opts.getOrPut(h, opt); loaded {
+		return v
 	}
 	if opt.Changed() {
 		e.st.optimized(opt.InstrsEliminated, opt.PlanesFreed)
@@ -713,6 +803,7 @@ func (e *Engine) serve(rank int) {
 		e.st.batch(len(batch))
 		e.emit(rank, perfmon.EvBatchDispatch, uint32(len(batch)), 0)
 		e.busy.Add(1)
+		e.syncReplica(rank, m)
 		e.runBatch(rank, m, batch)
 		e.busy.Add(-1)
 	}
@@ -790,9 +881,10 @@ func (e *Engine) emit(pe int, code perfmon.EventCode, status uint32, now timing.
 	}
 }
 
-// Close stops the serving replicas, waits for in-flight batches, fails
-// queued but unserved queries with ErrClosed, and releases the pool,
-// including each replica's persistent propagation workers.
+// Close stops the serving replicas and the writer, waits for in-flight
+// batches, fails queued but unserved queries and writes with ErrClosed,
+// and releases the pool, including each replica's persistent propagation
+// workers.
 func (e *Engine) Close() {
 	e.closeOnce.Do(func() { close(e.done) })
 	e.wg.Wait()
@@ -802,8 +894,22 @@ func (e *Engine) Close() {
 			req.resp <- response{err: ErrClosed}
 		}
 	}
+	if e.writeQ != nil {
+		for {
+			select {
+			case w := <-e.writeQ:
+				w.resp <- writeResp{err: ErrClosed}
+				continue
+			default:
+			}
+			break
+		}
+	}
 	for _, m := range e.machines {
 		m.Close()
+	}
+	if e.writer != nil {
+		e.writer.Close()
 	}
 }
 
@@ -818,5 +924,6 @@ func (e *Engine) Stats() Stats {
 	if e.results != nil {
 		resultEntries = e.results.len()
 	}
-	return e.st.snapshot(depth, idle, int(e.inflight.Load()), resultEntries, e.healthyReplicas())
+	return e.st.snapshot(depth, idle, int(e.inflight.Load()), resultEntries,
+		e.healthyReplicas(), e.opts.evictions(), e.readGen())
 }

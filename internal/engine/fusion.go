@@ -184,7 +184,7 @@ func (e *Engine) SubmitBatch(ctx context.Context, progs []*isa.Program) ([]*mach
 		defer cancel()
 	}
 
-	gen := e.kb.Generation()
+	gen := e.readGen()
 	pending := make([]int, 0, len(progs)) // indices awaiting execution
 	for i, prog := range progs {
 		if prog.Mutating() {

@@ -56,7 +56,10 @@ type QueryResponse struct {
 	Instructions int               `json:"instructions"`
 	// Fused marks a query served from a fused multi-query run; its
 	// virtual time is the fused run's end, not a solo-run time.
-	Fused         bool   `json:"fused,omitempty"`
+	Fused bool `json:"fused,omitempty"`
+	// KBGeneration is the knowledge-base generation snapshot the run
+	// observed — after its own mutations, for a /v1/mutate response.
+	KBGeneration  uint64 `json:"kb_generation,omitempty"`
 	ServerMessage string `json:"message,omitempty"`
 }
 
@@ -111,12 +114,14 @@ type ErrorEnvelope struct {
 //
 //	POST /v1/query       — run one SNAP assembly query (JSON or text/plain)
 //	POST /v1/query/batch — run up to MaxBatchPrograms queries, fused when possible
+//	POST /v1/mutate      — run one topology-mutating program (Config.Writes)
 //	GET  /v1/stats       — serving counters, per-stage latency, monitor state
 //	GET  /v1/health      — per-replica quarantine state and overall status
 func NewServer(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", e.handleQuery)
 	mux.HandleFunc("/v1/query/batch", e.handleQueryBatch)
+	mux.HandleFunc("/v1/mutate", e.handleMutate)
 	mux.HandleFunc("/v1/stats", e.handleStats)
 	mux.HandleFunc("/v1/health", e.handleHealth)
 	return mux
@@ -160,6 +165,57 @@ func (e *Engine) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	res, err := e.Submit(ctx, prog)
+	if err != nil {
+		e.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, e.queryResponse(prog, res, time.Since(start)))
+}
+
+// handleMutate answers POST /v1/mutate: one topology-mutating SNAP
+// program (same request shape as /v1/query), executed through the
+// serialized write path. The response is a QueryResponse whose
+// KBGeneration is the epoch the write published; by the time it is
+// written, every subsequently admitted read observes the mutation.
+// Engines without Config.Writes answer 403 writes_disabled.
+func (e *Engine) handleMutate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErrorCode(w, http.StatusMethodNotAllowed, "method_not_allowed", false, errors.New("POST required"))
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeErrorCode(w, http.StatusBadRequest, "bad_request", false, err)
+		return
+	}
+	var req QueryRequest
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/json") {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeErrorCode(w, http.StatusBadRequest, "bad_request", false, err)
+			return
+		}
+	} else {
+		req.Program = string(body)
+	}
+	if strings.TrimSpace(req.Program) == "" {
+		writeErrorCode(w, http.StatusBadRequest, "bad_request", false, errors.New("empty program"))
+		return
+	}
+
+	ctx := r.Context()
+	if req.TimeoutMillis > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMillis)*time.Millisecond)
+		defer cancel()
+	}
+
+	prog, err := e.Compile(req.Program)
+	if err != nil {
+		e.writeError(w, err)
+		return
+	}
+	start := time.Now()
+	res, err := e.SubmitWrite(ctx, prog)
 	if err != nil {
 		e.writeError(w, err)
 		return
@@ -241,6 +297,7 @@ func (e *Engine) queryResponse(prog *isa.Program, res *machine.Result, wall time
 		ProgramHash:  hashString(prog.Hash()),
 		Instructions: prog.Len(),
 		Fused:        res.Fused,
+		KBGeneration: res.KBGen,
 	}
 	for _, coll := range res.Collections {
 		qc := QueryCollection{Instr: coll.Instr, Op: coll.Op.String()}
@@ -314,6 +371,12 @@ func classify(err error) (status int, code string, retryable bool) {
 		return http.StatusBadRequest, "bad_program", false
 	case errors.Is(err, machine.ErrNoKB):
 		return http.StatusConflict, "kb_not_loaded", false
+	case errors.Is(err, ErrWritesDisabled):
+		return http.StatusForbidden, "writes_disabled", false
+	case errors.Is(err, ErrWriteConflict):
+		return http.StatusConflict, "conflict", false
+	case errors.Is(err, ErrWriteFailed):
+		return http.StatusInternalServerError, "write_failed", false
 	case errors.Is(err, ErrOverloaded):
 		return http.StatusServiceUnavailable, "overloaded", true
 	case errors.Is(err, ErrClosed):
@@ -327,6 +390,27 @@ func classify(err error) (status int, code string, retryable bool) {
 	default:
 		return http.StatusInternalServerError, "internal", false
 	}
+}
+
+// envelopeCodes is every stable code the typed error envelope can carry
+// — the classify sentinels plus the request-shape rejections written via
+// writeErrorCode. The envelope tests assert this list against the
+// documentation table (docs/RESILIENCE.md), so a new code cannot ship
+// undocumented.
+var envelopeCodes = []string{
+	"bad_program",
+	"bad_request",
+	"canceled",
+	"conflict",
+	"fault_injected",
+	"internal",
+	"kb_not_loaded",
+	"method_not_allowed",
+	"overloaded",
+	"shutting_down",
+	"timeout",
+	"write_failed",
+	"writes_disabled",
 }
 
 // retryAfterSeconds estimates when a shed client should come back:

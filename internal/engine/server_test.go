@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -355,5 +357,139 @@ func TestServerQueryBatchRejectsMalformed(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET: %d", resp.StatusCode)
+	}
+}
+
+// TestServerMutateEndpoint exercises POST /v1/mutate end to end: a
+// writes-enabled server commits a CREATE, reports the published
+// generation, and every later query observes the link; a read-only
+// server refuses with 403 writes_disabled.
+func TestServerMutateEndpoint(t *testing.T) {
+	kb, _ := writeTestKB(t)
+	e, err := New(kb, WithReplicas(2), WithWrites(true), WithFusion(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(e))
+	defer func() { srv.Close(); e.Close() }()
+
+	const readProg = "search-node node=a marker=c1 value=0\n" +
+		"propagate m1=c1 m2=c2 rule=path(is-a) fn=add\n" +
+		"collect-node marker=c2\n"
+	before := postQuery(t, srv.URL, readProg)
+	if n := len(before.Collections[0].Items); n != 2 {
+		t.Fatalf("pre-mutate ancestry has %d nodes, want 2", n)
+	}
+
+	resp, err := http.Post(srv.URL+"/v1/mutate", "text/plain",
+		strings.NewReader("create src=c rel=is-a w=1 dst=d\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var env ErrorEnvelope
+		_ = json.NewDecoder(resp.Body).Decode(&env)
+		t.Fatalf("mutate status %d: %s: %s", resp.StatusCode, env.Error.Code, env.Error.Message)
+	}
+	var mut QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mut); err != nil {
+		t.Fatal(err)
+	}
+	if mut.KBGeneration == 0 {
+		t.Error("mutate response carries no published generation")
+	}
+
+	after := postQuery(t, srv.URL, readProg)
+	found := false
+	for _, it := range after.Collections[0].Items {
+		if it.Node == "d" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("post-mutate query misses the committed link: %+v", after.Collections[0].Items)
+	}
+	if after.KBGeneration < mut.KBGeneration {
+		t.Errorf("read observed generation %d, want >= %d (read-your-writes)",
+			after.KBGeneration, mut.KBGeneration)
+	}
+
+	var st StatsResponse
+	sresp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats.Writes != 1 || st.Stats.WriteCommits == 0 {
+		t.Errorf("stats writes=%d commits=%d, want 1 and >0", st.Stats.Writes, st.Stats.WriteCommits)
+	}
+
+	// GET is not a mutate verb.
+	if gresp, err := http.Get(srv.URL + "/v1/mutate"); err != nil {
+		t.Fatal(err)
+	} else {
+		gresp.Body.Close()
+		if gresp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET /v1/mutate: %d, want 405", gresp.StatusCode)
+		}
+	}
+
+	// A read-only engine answers 403 with the typed code.
+	kb2, _ := writeTestKB(t)
+	ro, err := New(kb2, WithReplicas(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rosrv := httptest.NewServer(NewServer(ro))
+	defer func() { rosrv.Close(); ro.Close() }()
+	roresp, err := http.Post(rosrv.URL+"/v1/mutate", "text/plain",
+		strings.NewReader("create src=c rel=is-a w=1 dst=d\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer roresp.Body.Close()
+	var env ErrorEnvelope
+	if err := json.NewDecoder(roresp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if roresp.StatusCode != http.StatusForbidden || env.Error.Code != "writes_disabled" {
+		t.Errorf("read-only mutate: %d/%s, want 403/writes_disabled", roresp.StatusCode, env.Error.Code)
+	}
+}
+
+// TestEnvelopeCodesDocumented asserts every stable envelope code —
+// classify sentinels and request-shape rejections alike — has a row in
+// docs/RESILIENCE.md, so a new code cannot ship undocumented.
+func TestEnvelopeCodesDocumented(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("..", "..", "docs", "RESILIENCE.md"))
+	if err != nil {
+		t.Fatalf("envelope documentation missing: %v", err)
+	}
+	for _, code := range envelopeCodes {
+		if !bytes.Contains(doc, []byte("`"+code+"`")) {
+			t.Errorf("envelope code %q undocumented in docs/RESILIENCE.md", code)
+		}
+	}
+	// The classify mapping must not surface codes missing from the list.
+	for _, err := range []error{
+		isa.ErrBadProgram, machine.ErrNoKB, ErrOverloaded, ErrClosed,
+		fault.ErrInjected, context.DeadlineExceeded, context.Canceled,
+		ErrWritesDisabled, ErrWriteConflict, ErrWriteFailed,
+		errors.New("mystery"),
+	} {
+		_, code, _ := classify(err)
+		found := false
+		for _, c := range envelopeCodes {
+			if c == code {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("classify surfaces %q, absent from envelopeCodes", code)
+		}
 	}
 }

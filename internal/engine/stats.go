@@ -112,12 +112,33 @@ type Stats struct {
 
 	// Result-cache counters: hits served without touching a replica,
 	// misses that went to execution, queries collapsed onto an
-	// identical in-flight execution (singleflight), and the cache's
-	// resident entry count.
-	ResultHits      uint64 `json:"result_cache_hits"`
-	ResultMisses    uint64 `json:"result_cache_misses"`
-	DedupedQueries  uint64 `json:"deduped_queries"`
-	ResultCacheSize int    `json:"result_cache_size"`
+	// identical in-flight execution (singleflight), the cache's
+	// resident entry count, and entries swept out eagerly because a
+	// write publish superseded their generation.
+	ResultHits       uint64 `json:"result_cache_hits"`
+	ResultMisses     uint64 `json:"result_cache_misses"`
+	DedupedQueries   uint64 `json:"deduped_queries"`
+	ResultCacheSize  int    `json:"result_cache_size"`
+	ResultGenEvicted uint64 `json:"result_gen_evicted"`
+
+	// OptCacheEvictions counts optimizer-cache entries displaced by its
+	// LRU bound (the cache is capped at the compile cache's capacity).
+	OptCacheEvictions uint64 `json:"opt_cache_evictions"`
+
+	// Write-path counters (zero unless Config.Writes): mutating
+	// programs committed and failed; epoch publishes (group commit can
+	// fold several writes into one); incremental replica delta
+	// applications and the delta records they replayed; and replica
+	// syncs that had to fall back to a full KB re-download (truncated
+	// delta log or a non-replayable record). KBGeneration is the
+	// currently published KB generation every new read observes.
+	Writes        uint64 `json:"writes"`
+	WriteFailures uint64 `json:"write_failures"`
+	WriteCommits  uint64 `json:"write_commits"`
+	DeltasApplied uint64 `json:"deltas_applied"`
+	DeltaNodes    uint64 `json:"delta_nodes"`
+	FullReloads   uint64 `json:"full_reloads"`
+	KBGeneration  uint64 `json:"kb_generation"`
 
 	// Resilience counters: retries issued and queries whose retry
 	// budget ran out; replica quarantines and restorations; and the
@@ -141,10 +162,12 @@ type Stats struct {
 	ICNBursts   uint64 `json:"icn_send_bursts"`
 
 	// Per-stage wall-clock latency: assembly+rule compilation, submit
-	// queue residency, and execution (including collection).
+	// queue residency, execution (including collection), and write
+	// commits (serialized writer run plus publish).
 	Compile   LatencyHist `json:"compile_latency"`
 	QueueWait LatencyHist `json:"queue_latency"`
 	Run       LatencyHist `json:"run_latency"`
+	Write     LatencyHist `json:"write_latency"`
 
 	// Events counts engine-level monitoring events by name.
 	Events map[string]uint64 `json:"events,omitempty"`
@@ -168,11 +191,14 @@ type stats struct {
 	cacheHits, cacheMisses                           uint64
 	optPrograms, optInstrs, optPlanes, optFallbacks  uint64
 	resultHits, resultMisses, deduped                uint64
+	resultGenEvicted                                 uint64
 	retries, retriesExhausted                        uint64
 	quarantines, restores                            uint64
 	icnMessages, icnHops, icnBursts                  uint64
+	writes, writeFailures, writeCommits              uint64
+	deltasApplied, deltaNodes, fullReloads           uint64
 
-	compileH, queueH, runH hist
+	compileH, queueH, runH, writeH hist
 
 	events map[perfmon.EventCode]uint64
 }
@@ -347,6 +373,51 @@ func (s *stats) run(d time.Duration, err error) {
 	s.mu.Unlock()
 }
 
+// write records one serialized writer run: its wall-clock latency and
+// whether the mutation committed.
+func (s *stats) write(d time.Duration, err error) {
+	s.mu.Lock()
+	s.writeH.observe(d)
+	if err == nil {
+		s.writes++
+	} else {
+		s.writeFailures++
+	}
+	s.mu.Unlock()
+}
+
+// commit records one epoch publish (its member writes are counted
+// individually by write()).
+func (s *stats) commit() {
+	s.mu.Lock()
+	s.writeCommits++
+	s.mu.Unlock()
+}
+
+// deltaApplied records one incremental replica sync that replayed n
+// delta records.
+func (s *stats) deltaApplied(n int) {
+	s.mu.Lock()
+	s.deltasApplied++
+	s.deltaNodes += uint64(n)
+	s.mu.Unlock()
+}
+
+// fullReload records one replica sync that fell back to a full KB
+// re-download.
+func (s *stats) fullReload() {
+	s.mu.Lock()
+	s.fullReloads++
+	s.mu.Unlock()
+}
+
+// resultGenEvict records n result-cache entries swept by a publish.
+func (s *stats) resultGenEvict(n int) {
+	s.mu.Lock()
+	s.resultGenEvicted += uint64(n)
+	s.mu.Unlock()
+}
+
 func (s *stats) event(code perfmon.EventCode) {
 	s.mu.Lock()
 	if s.events == nil {
@@ -356,7 +427,7 @@ func (s *stats) event(code perfmon.EventCode) {
 	s.mu.Unlock()
 }
 
-func (s *stats) snapshot(queueDepth, idle, inFlight, resultEntries, healthy int) Stats {
+func (s *stats) snapshot(queueDepth, idle, inFlight, resultEntries, healthy int, optEvictions, kbGen uint64) Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := Stats{
@@ -387,6 +458,15 @@ func (s *stats) snapshot(queueDepth, idle, inFlight, resultEntries, healthy int)
 		ResultMisses:        s.resultMisses,
 		DedupedQueries:      s.deduped,
 		ResultCacheSize:     resultEntries,
+		ResultGenEvicted:    s.resultGenEvicted,
+		OptCacheEvictions:   optEvictions,
+		Writes:              s.writes,
+		WriteFailures:       s.writeFailures,
+		WriteCommits:        s.writeCommits,
+		DeltasApplied:       s.deltasApplied,
+		DeltaNodes:          s.deltaNodes,
+		FullReloads:         s.fullReloads,
+		KBGeneration:        kbGen,
 		Retries:             s.retries,
 		RetriesExhausted:    s.retriesExhausted,
 		Quarantines:         s.quarantines,
@@ -399,6 +479,7 @@ func (s *stats) snapshot(queueDepth, idle, inFlight, resultEntries, healthy int)
 		Compile:             s.compileH.snapshot(),
 		QueueWait:           s.queueH.snapshot(),
 		Run:                 s.runH.snapshot(),
+		Write:               s.writeH.snapshot(),
 	}
 	if len(s.fusionRejects) > 0 {
 		out.FusionRejects = make(map[string]uint64, len(s.fusionRejects))

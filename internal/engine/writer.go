@@ -1,0 +1,237 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"snap1/internal/isa"
+	"snap1/internal/machine"
+	"snap1/internal/perfmon"
+	"snap1/internal/semnet"
+)
+
+// The online write path (Config.Writes). Mutating programs execute
+// serialized on one dedicated writer machine — a lockstep replica over
+// the master KB, outside the serving ring — and publish epoch-style:
+//
+//	SubmitWrite → write queue → writer goroutine (group commit)
+//	            → RunContext on the writer machine
+//	              (every store mutation mirrored into the KB, each
+//	               tagged in the KB's topology delta log)
+//	            → publish: pubGen := kb.Generation()
+//	            → result-cache generation sweep, EvWriteCommitted
+//	            → respond to the group's callers
+//
+// Reads never block on writes: admission reads the published epoch
+// (pubGen) with one atomic load, and each serving replica patches its
+// cluster tables forward by replaying the delta log at its next batch
+// boundary (syncReplica) — cost proportional to the delta, with full
+// re-download only as the truncation/rebuild fallback. Responses are
+// sent after publish, so a caller whose write returned is guaranteed
+// read-your-writes on every subsequently admitted query.
+
+// Write-path sentinel errors.
+var (
+	// ErrWritesDisabled is returned by SubmitWrite (and mapped to HTTP
+	// 403 writes_disabled) when the engine was built without
+	// Config.Writes.
+	ErrWritesDisabled = errors.New("engine: writes disabled (enable with WithWrites)")
+	// ErrWriteConflict marks a write refused by the current topology
+	// state — a relation-slot capacity overflow or an unknown node —
+	// where retrying verbatim cannot succeed until the topology changes.
+	// HTTP surface: 409 conflict.
+	ErrWriteConflict = errors.New("engine: write conflict")
+	// ErrWriteFailed marks a write whose execution failed after
+	// admission for any other reason; the KB may hold a committed
+	// prefix of the program's mutations (published like any commit).
+	// HTTP surface: 500 write_failed.
+	ErrWriteFailed = errors.New("engine: write failed")
+)
+
+// writeReq is one queued mutating program.
+type writeReq struct {
+	ctx  context.Context
+	prog *isa.Program
+	resp chan writeResp
+}
+
+type writeResp struct {
+	res *machine.Result
+	err error
+}
+
+// SubmitWrite enqueues a topology-mutating program for the serialized
+// writer and blocks until it commits and its epoch is published (or the
+// context/engine dies first). Read-only programs are legal too — they
+// observe the master KB between writes — but Submit is the right door
+// for them. Writes are not retried and their results are not memoized;
+// the returned Result's KBGen is the generation the write produced.
+//
+// A write that fails mid-program (ErrWriteFailed) may leave a committed
+// prefix of its mutations: the SNAP array has no transactional rollback,
+// so partial effects publish like any commit. ErrWriteConflict means
+// topology state refused the mutation (relation slots full, unknown
+// node).
+func (e *Engine) SubmitWrite(ctx context.Context, prog *isa.Program) (*machine.Result, error) {
+	if e.writeQ == nil {
+		e.st.reject()
+		return nil, ErrWritesDisabled
+	}
+	if err := prog.Validate(); err != nil {
+		e.st.reject()
+		return nil, err
+	}
+	req := &writeReq{ctx: ctx, prog: prog, resp: make(chan writeResp, 1)}
+	select {
+	case e.writeQ <- req:
+	case <-ctx.Done():
+		e.st.cancel()
+		return nil, ctx.Err()
+	case <-e.done:
+		return nil, ErrClosed
+	default:
+		// Queue full: shed rather than block the caller behind a burst.
+		return nil, e.shed()
+	}
+	select {
+	case r := <-req.resp:
+		return r.res, r.err
+	case <-ctx.Done():
+		// The write may still commit; the caller only loses the ack.
+		e.st.cancel()
+		return nil, ctx.Err()
+	case <-e.done:
+		return nil, ErrClosed
+	}
+}
+
+// writeLoop is the dedicated writer goroutine: it drains the write
+// queue, folding up to WriteBatch adjacent writes into one group
+// commit, and retires at engine shutdown.
+func (e *Engine) writeLoop() {
+	defer e.wg.Done()
+	for {
+		var first *writeReq
+		select {
+		case first = <-e.writeQ:
+		case <-e.done:
+			return
+		}
+		group := append(make([]*writeReq, 0, e.cfg.WriteBatch), first)
+		for len(group) < e.cfg.WriteBatch {
+			select {
+			case w := <-e.writeQ:
+				group = append(group, w)
+				continue
+			default:
+			}
+			break
+		}
+		e.commitGroup(group)
+	}
+}
+
+// commitGroup runs a group of writes back-to-back on the writer machine
+// and publishes one epoch covering all of them. Responses go out after
+// the publish, so an acked write is visible to every later-admitted
+// read.
+func (e *Engine) commitGroup(group []*writeReq) {
+	resps := make([]writeResp, len(group))
+	e.writeMu.Lock()
+	for i, w := range group {
+		if err := w.ctx.Err(); err != nil {
+			e.st.cancel()
+			resps[i] = writeResp{err: err}
+			continue
+		}
+		e.writer.ClearMarkers()
+		start := time.Now()
+		res, err := e.writer.RunContext(w.ctx, w.prog)
+		e.st.write(time.Since(start), err)
+		if err != nil {
+			resps[i] = writeResp{err: classifyWriteErr(err)}
+			continue
+		}
+		resps[i] = writeResp{res: res}
+	}
+	newGen := e.kb.Generation()
+	e.writeMu.Unlock()
+
+	if newGen != e.pubGen.Load() {
+		e.pubGen.Store(newGen)
+		if e.results != nil {
+			if n := e.results.evictBefore(newGen); n > 0 {
+				e.st.resultGenEvict(n)
+			}
+		}
+		e.st.commit()
+		e.emit(-1, perfmon.EvWriteCommitted, uint32(len(group)), 0)
+	}
+	for i, w := range group {
+		w.resp <- resps[i]
+	}
+}
+
+// classifyWriteErr maps a writer-run failure onto the write-path
+// sentinels. Context errors and bad programs pass through untouched
+// (they already classify); topology-state refusals become
+// ErrWriteConflict, everything else ErrWriteFailed.
+func classifyWriteErr(err error) error {
+	switch {
+	case errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, isa.ErrBadProgram),
+		errors.Is(err, machine.ErrNoKB):
+		return err
+	case errors.Is(err, semnet.ErrCapacity),
+		errors.Is(err, semnet.ErrUnknownNode):
+		return fmt.Errorf("%w: %w", ErrWriteConflict, err)
+	default:
+		return fmt.Errorf("%w: %w", ErrWriteFailed, err)
+	}
+}
+
+// syncReplica brings a serving replica's cluster tables up to the
+// published epoch before it runs a batch: replay the KB's delta records
+// in place — O(delta), partition-routed, marker state untouched — or,
+// when the log was truncated or carries a non-replayable rebuild
+// record, fall back to a full LoadKB re-download under the write lock
+// (the one sync path that must see a quiescent master KB).
+func (e *Engine) syncReplica(rank int, m *machine.Machine) {
+	if e.writeQ == nil {
+		return
+	}
+	to := e.pubGen.Load()
+	from := m.KBGeneration()
+	if from == to {
+		return
+	}
+	if recs, ok := e.kb.DeltaRange(from, to); ok {
+		replayable := true
+		for i := range recs {
+			if !recs[i].Replayable() {
+				replayable = false
+				break
+			}
+		}
+		if replayable {
+			if err := m.ApplyDelta(recs, to); err == nil {
+				e.st.deltaApplied(len(recs))
+				e.emit(rank, perfmon.EvKBDeltaApplied, uint32(len(recs)), 0)
+				return
+			}
+			// Partial patch: the full re-download below rebuilds every
+			// table from the master KB, erasing any half-applied state.
+		}
+	}
+	e.writeMu.Lock()
+	err := m.LoadKB(e.kb)
+	e.writeMu.Unlock()
+	if err != nil {
+		// Keep serving the stale snapshot; the next boundary retries.
+		return
+	}
+	e.st.fullReload()
+}

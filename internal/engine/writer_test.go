@@ -1,0 +1,393 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"snap1/internal/isa"
+	"snap1/internal/machine"
+	"snap1/internal/rules"
+	"snap1/internal/semnet"
+)
+
+// Online write-path tests: SubmitWrite admission, epoch publish and
+// read-your-writes, conflict classification, cache hygiene at commit,
+// and the read/write soak asserting every concurrent read bit-identical
+// to a reference machine replayed to the read's observed generation.
+
+// writeTestKB builds a small chain a -is-a-> b -is-a-> c plus a detached
+// node d, so a single committed CREATE visibly extends the ancestry.
+func writeTestKB(t *testing.T) (*semnet.KB, map[string]semnet.NodeID) {
+	t.Helper()
+	kb := semnet.NewKB()
+	col := kb.ColorFor("concept")
+	rel := kb.Relation("is-a")
+	ids := map[string]semnet.NodeID{}
+	for _, n := range []string{"a", "b", "c", "d"} {
+		ids[n] = kb.MustAddNode(n, col)
+	}
+	kb.MustAddLink(ids["a"], rel, 1, ids["b"])
+	kb.MustAddLink(ids["b"], rel, 1, ids["c"])
+	return kb, ids
+}
+
+func ancestryProg(kb *semnet.KB, from semnet.NodeID) *isa.Program {
+	p := isa.NewProgram()
+	p.SearchNode(from, 1, 0)
+	p.Propagate(1, 2, rules.Path(kb.Relation("is-a")), semnet.FuncAdd)
+	p.Barrier()
+	p.CollectNode(2)
+	return p
+}
+
+// TestSubmitWriteDisabled: an engine built without WithWrites refuses
+// mutating submissions with the typed sentinel.
+func TestSubmitWriteDisabled(t *testing.T) {
+	kb, ids := writeTestKB(t)
+	e, err := New(kb, WithReplicas(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	w := isa.NewProgram().Create(ids["c"], kb.Relation("is-a"), 1, ids["d"])
+	if _, err := e.SubmitWrite(context.Background(), w); !errors.Is(err, ErrWritesDisabled) {
+		t.Fatalf("SubmitWrite on a read-only engine: %v, want ErrWritesDisabled", err)
+	}
+}
+
+// TestSubmitWriteReadYourWrites: once SubmitWrite returns, every
+// subsequently admitted read observes the mutation, and the write
+// counters and published generation advance.
+func TestSubmitWriteReadYourWrites(t *testing.T) {
+	kb, ids := writeTestKB(t)
+	e, err := New(kb, WithReplicas(2), WithWrites(true), WithFusion(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ctx := context.Background()
+	read := ancestryProg(kb, ids["a"])
+
+	before, err := e.Submit(ctx, read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(before.Collections[0].Items); n != 2 {
+		t.Fatalf("pre-write ancestry has %d nodes, want 2 (b, c)", n)
+	}
+	gen0 := e.Stats().KBGeneration
+
+	wres, err := e.SubmitWrite(ctx, isa.NewProgram().Create(ids["c"], kb.Relation("is-a"), 1, ids["d"]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wres.KBGen <= gen0 {
+		t.Errorf("write result generation %d not past pre-write %d", wres.KBGen, gen0)
+	}
+
+	after, err := e.Submit(ctx, read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, it := range after.Collections[0].Items {
+		if it.Node == ids["d"] {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("post-write read misses the committed link: %+v", after.Collections[0].Items)
+	}
+	if after.KBGen < wres.KBGen {
+		t.Errorf("post-write read observed generation %d, want >= %d", after.KBGen, wres.KBGen)
+	}
+
+	st := e.Stats()
+	if st.Writes != 1 || st.WriteCommits == 0 {
+		t.Errorf("writes=%d commits=%d, want 1 and >0", st.Writes, st.WriteCommits)
+	}
+	if st.KBGeneration <= gen0 {
+		t.Errorf("published generation %d did not advance past %d", st.KBGeneration, gen0)
+	}
+	if st.DeltasApplied == 0 && st.FullReloads == 0 {
+		t.Error("no replica ever synced (neither delta replay nor full reload)")
+	}
+}
+
+// TestSubmitWriteConflict: a CREATE on a node whose relation slots are
+// full is refused as a conflict — the loaded array cannot split subnodes
+// at runtime — and the envelope code is the 409 "conflict".
+func TestSubmitWriteConflict(t *testing.T) {
+	kb := semnet.NewKB()
+	col := kb.ColorFor("concept")
+	rel := kb.Relation("r")
+	fat := kb.MustAddNode("fat", col)
+	targets := make([]semnet.NodeID, semnet.RelationSlots+1)
+	for i := range targets {
+		targets[i] = kb.MustAddNode(fmt.Sprintf("t%d", i), col)
+	}
+	// Exactly RelationSlots links: below the preprocessor's split
+	// threshold, but the store's slot bank is full.
+	for i := 0; i < semnet.RelationSlots; i++ {
+		kb.MustAddLink(fat, rel, 1, targets[i])
+	}
+	e, err := New(kb, WithReplicas(1), WithWrites(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	w := isa.NewProgram().Create(fat, rel, 1, targets[semnet.RelationSlots])
+	_, err = e.SubmitWrite(context.Background(), w)
+	if !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("overflow CREATE: %v, want ErrWriteConflict", err)
+	}
+	if status, code, retryable := classify(err); status != 409 || code != "conflict" || retryable {
+		t.Errorf("conflict classifies as (%d, %q, %v), want (409, conflict, false)", status, code, retryable)
+	}
+	// The refused write must not have published a new epoch.
+	if st := e.Stats(); st.WriteCommits != 0 {
+		t.Errorf("refused write published a commit: %+v", st.WriteCommits)
+	}
+}
+
+// TestWriteSweepsResultCache: a commit evicts every result memoized
+// under a superseded generation, so the cache never pins dead epochs.
+func TestWriteSweepsResultCache(t *testing.T) {
+	kb, ids := writeTestKB(t)
+	e, err := New(kb, WithReplicas(1), WithWrites(true), WithFusion(1), WithResultCache(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ctx := context.Background()
+	read := ancestryProg(kb, ids["a"])
+
+	// Memoize, then hit.
+	if _, err := e.Submit(ctx, read); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit(ctx, read); err != nil {
+		t.Fatal(err)
+	}
+	if e.results.len() == 0 {
+		t.Fatal("read was not memoized")
+	}
+	if _, err := e.SubmitWrite(ctx, isa.NewProgram().Create(ids["c"], kb.Relation("is-a"), 1, ids["d"])); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().ResultGenEvicted; got == 0 {
+		t.Error("commit swept no superseded-generation results")
+	}
+	// The post-write read recomputes under the new generation and must
+	// see the mutation (a stale hit would miss node d).
+	res, err := e.Submit(ctx, read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, it := range res.Collections[0].Items {
+		if it.Node == ids["d"] {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("post-write read served a stale cached result")
+	}
+}
+
+// TestOptCacheBounded: the optimizer cache is a bounded LRU sharing
+// CacheCap; overflowing it with distinct programs must evict, not grow
+// without bound, and the eviction counter surfaces in Stats.
+func TestOptCacheBounded(t *testing.T) {
+	g := fig15KB(t, 400)
+	e, err := New(g.KB, WithReplicas(1), WithCacheCap(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ctx := context.Background()
+	for _, c := range queryConcepts(g, 12) {
+		prog, err := e.Compile(inheritanceQuery(g, c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Submit(ctx, prog); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := e.opts.len(); n > 4 {
+		t.Errorf("optimizer cache holds %d entries, cap 4", n)
+	}
+	if got := e.Stats().OptCacheEvictions; got == 0 {
+		t.Error("12 distinct programs through a cap-4 optimizer cache evicted nothing")
+	}
+}
+
+// TestReadWriteSoak drives concurrent readers and writers through one
+// engine, then proves every read was bit-identical — collections and
+// lockstep virtual time — to a reference machine patched forward to
+// exactly the generation that read observed. This is the acceptance
+// criterion for epoch-versioned serving: a read never sees a torn or
+// stale-beyond-its-epoch snapshot.
+func TestReadWriteSoak(t *testing.T) {
+	g := fig15KB(t, 800)
+	// Fusion off and optimizer off: the reference machine runs programs
+	// as written, solo, so engine results must match it exactly. Result
+	// cache off so every read actually exercises replica delta sync.
+	e, err := New(g.KB,
+		WithReplicas(4),
+		WithWrites(true),
+		WithFusion(1),
+		WithOptLevel(0),
+		WithResultCache(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	// The reference starts from the same post-preprocess topology and
+	// partition the pool booted from.
+	ref, err := machine.New(e.cfg.Machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	if err := ref.LoadKB(e.kb); err != nil {
+		t.Fatal(err)
+	}
+
+	kb := g.KB
+	progs := make([]*isa.Program, 0, 4)
+	for _, c := range queryConcepts(g, 4) {
+		p, err := e.Compile(inheritanceQuery(g, c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs = append(progs, p)
+	}
+
+	// Distinct per-writer links on low-fanout leaves, toggled
+	// create/delete, keep every write conflict-free and the write volume
+	// far below the delta log's truncation threshold.
+	const writers, togglesPerWriter = 2, 30
+	type toggle struct {
+		src, dst semnet.NodeID
+		rel      semnet.RelType
+	}
+	toggles := make([]toggle, writers)
+	for w := range toggles {
+		toggles[w] = toggle{
+			src: g.Leaves[w],
+			dst: g.Leaves[(w+10)%len(g.Leaves)],
+			rel: kb.Relation(fmt.Sprintf("soak-%d", w)),
+		}
+	}
+
+	type sample struct {
+		prog *isa.Program
+		gen  uint64
+		got  string
+	}
+	render := func(res *machine.Result) string {
+		out := res.Time.String()
+		for _, c := range res.Collections {
+			for _, it := range c.Items {
+				out += fmt.Sprintf("|%d:%d=%v", c.Instr, it.Node, it.Value)
+			}
+		}
+		return out
+	}
+
+	const readers, readsPerReader = 4, 40
+	samples := make([][]sample, readers)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tg := toggles[w]
+			for i := 0; i < togglesPerWriter; i++ {
+				var p *isa.Program
+				if i%2 == 0 {
+					p = isa.NewProgram().Create(tg.src, tg.rel, 1, tg.dst)
+				} else {
+					p = isa.NewProgram().Delete(tg.src, tg.rel, tg.dst)
+				}
+				if _, err := e.SubmitWrite(ctx, p); err != nil {
+					t.Errorf("writer %d toggle %d: %v", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < readsPerReader; i++ {
+				p := progs[(r+i)%len(progs)]
+				res, err := e.Submit(ctx, p)
+				if err != nil {
+					t.Errorf("reader %d read %d: %v", r, i, err)
+					return
+				}
+				samples[r] = append(samples[r], sample{prog: p, gen: res.KBGen, got: render(res)})
+			}
+		}(r)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Replay: advance the reference through the delta log in ascending
+	// generation order, running every sample at its observed epoch.
+	all := make([]sample, 0, readers*readsPerReader)
+	for _, s := range samples {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].gen < all[j].gen })
+	verified := 0
+	for _, s := range all {
+		if cur := ref.KBGeneration(); s.gen > cur {
+			recs, ok := kb.DeltaRange(cur, s.gen)
+			if !ok {
+				t.Fatalf("DeltaRange(%d, %d) not ok: soak outran the delta log", cur, s.gen)
+			}
+			if err := ref.ApplyDelta(recs, s.gen); err != nil {
+				t.Fatalf("reference replay to gen %d: %v", s.gen, err)
+			}
+		} else if s.gen < cur {
+			t.Fatalf("sample at gen %d after reference advanced to %d (samples unsorted?)", s.gen, cur)
+		}
+		ref.ClearMarkers()
+		res, err := ref.Run(s.prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := render(res); s.got != want {
+			t.Fatalf("read at gen %d diverges from reference:\n got  %s\n want %s", s.gen, s.got, want)
+		}
+		verified++
+	}
+	if verified != readers*readsPerReader {
+		t.Fatalf("verified %d samples, want %d", verified, readers*readsPerReader)
+	}
+	st := e.Stats()
+	if st.WriteCommits == 0 || st.Writes != writers*togglesPerWriter {
+		t.Errorf("writes=%d commits=%d, want %d writes and >0 commits",
+			st.Writes, st.WriteCommits, writers*togglesPerWriter)
+	}
+	if st.DeltasApplied == 0 {
+		t.Error("soak exercised no incremental delta sync")
+	}
+	if st.FullReloads != 0 {
+		t.Errorf("%d full reloads during a replayable-only soak, want 0", st.FullReloads)
+	}
+}

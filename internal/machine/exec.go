@@ -76,6 +76,7 @@ func (m *Machine) exec(st *runState, idx int, in *isa.Instruction, bAt timing.Ti
 			var n int64
 			words := c.store.ForEachSet(in.M1, func(local int) {
 				_ = c.store.SetColor(local, in.Color)
+				_ = m.kb.SetColor(c.store.Global(local), in.Color)
 				n++
 			})
 			return m.cost.StatusWordCycles*int64(words) + m.cost.NodeTestCycles*n
@@ -196,7 +197,9 @@ func (m *Machine) execDelete(in *isa.Instruction, bAt timing.Time) (timing.Time,
 		return 0, fmt.Errorf("node %d not in knowledge base", in.Node)
 	}
 	c := m.clusters[m.assign[in.Node]]
-	c.store.RemoveLink(int(m.localIdx[in.Node]), in.Rel, in.EndNode)
+	if c.store.RemoveLink(int(m.localIdx[in.Node]), in.Rel, in.EndNode) {
+		m.kb.RemoveLink(in.Node, in.Rel, in.EndNode)
+	}
 	ready := c.decode(m, bAt)
 	cycles := m.cost.RelSlotCycles * semnet.RelationSlots
 	c.muRun(ready, m.cost.PECost(cycles))
@@ -211,9 +214,7 @@ func (m *Machine) execSetColor(in *isa.Instruction, bAt timing.Time) (timing.Tim
 	if err := c.store.SetColor(int(m.localIdx[in.Node]), in.Color); err != nil {
 		return 0, err
 	}
-	if n, err := m.kb.Node(in.Node); err == nil {
-		n.Color = in.Color
-	}
+	_ = m.kb.SetColor(in.Node, in.Color)
 	ready := c.decode(m, bAt)
 	c.muRun(ready, m.cost.PECost(m.cost.NodeTestCycles))
 	return m.cost.PECost(m.cost.DecodeCycles + m.cost.EnqueueCycles + m.cost.NodeTestCycles), nil
@@ -253,9 +254,13 @@ func (m *Machine) execMarkerLinks(in *isa.Instruction, bAt timing.Time) (timing.
 					m.kb.MustAddLink(in.EndNode, in.RevRel, 0, node)
 				}
 			} else {
-				c.store.RemoveLink(local, in.Rel, in.EndNode)
+				if c.store.RemoveLink(local, in.Rel, in.EndNode) {
+					m.kb.RemoveLink(node, in.Rel, in.EndNode)
+				}
 				if in.HasRev {
-					endCluster.store.RemoveLink(int(m.localIdx[in.EndNode]), in.RevRel, node)
+					if endCluster.store.RemoveLink(int(m.localIdx[in.EndNode]), in.RevRel, node) {
+						m.kb.RemoveLink(in.EndNode, in.RevRel, node)
+					}
 				}
 			}
 		})

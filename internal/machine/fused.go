@@ -412,7 +412,7 @@ func (m *Machine) lockstepWideTask(c *cluster, t task, perLevel *[]int64, total 
 func (r *Result) Demux(f *isa.Fused) []*Result {
 	out := make([]*Result, f.Queries)
 	for q := range out {
-		out[q] = &Result{Time: r.Time, Profile: r.Profile, Fused: true, kb: r.kb}
+		out[q] = &Result{Time: r.Time, Profile: r.Profile, Fused: true, KBGen: r.KBGen, kb: r.kb}
 	}
 	for _, col := range r.Collections {
 		o := f.InstrOf(col.Instr)

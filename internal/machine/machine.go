@@ -27,6 +27,11 @@ type Machine struct {
 	assign   partition.Assignment
 	localIdx []int32
 
+	// kbGen is the KB generation the loaded cluster tables currently
+	// reflect. LoadKB and ApplyDelta advance it; the gap between it and
+	// kb.Generation() is the delta a replica still owes (delta.go).
+	kbGen uint64
+
 	clusters []*cluster
 	net      *icn.Network
 	bar      *barrier.Tiered
@@ -166,6 +171,7 @@ func (m *Machine) LoadKB(kb *semnet.KB) error {
 	// it so the next concurrent phase starts workers over the new one.
 	m.Close()
 	m.kb, m.assign, m.localIdx, m.clusters = kb, assign, localIdx, clusters
+	m.kbGen = kb.Generation()
 	m.dirty = allDirty()
 	// The fresh clusters carry unarmed arbiters; rewire the injector.
 	if m.inj != nil {
@@ -204,6 +210,7 @@ func (m *Machine) Clone() (*Machine, error) {
 		kb:       m.kb,
 		assign:   m.assign,
 		localIdx: m.localIdx,
+		kbGen:    m.kbGen,
 		net:      icn.New(m.cfg.Clusters, m.cfg.MailboxCap),
 		bar:      barrier.New(m.cfg.Clusters),
 		ctrl:     timing.NewClock(timing.ControllerClock),
@@ -247,6 +254,12 @@ type Result struct {
 	// members, so the result is not reproducible by a solo run of the
 	// same program and must not enter bit-identity result caches.
 	Fused bool
+
+	// KBGen is the KB generation snapshot the run observed (after its
+	// own mutations, for a mutating program). A result is reproducible
+	// exactly against the topology of this generation; the engine keys
+	// its result cache on it.
+	KBGen uint64
 
 	kb *semnet.KB
 }
@@ -296,6 +309,13 @@ func (m *Machine) RunContext(ctx context.Context, prog *isa.Program) (*Result, e
 	if err := m.injectRunFaults(ctx); err != nil {
 		return nil, err
 	}
+	if prog.Mutating() {
+		// The run advances the KB generation instruction by instruction;
+		// the loaded tables track it exactly (exec mirrors every store
+		// mutation into the KB), including down error paths that abandon
+		// the run after a partial prefix.
+		defer func() { m.kbGen = m.kb.Generation() }()
+	}
 	corruptBefore := m.inj.Corrupting()
 	m.resetClocks()
 	m.curRules = prog.Rules
@@ -335,6 +355,11 @@ func (m *Machine) RunContext(ctx context.Context, prog *isa.Program) (*Result, e
 	st.prof.Elapsed = end
 	st.res.Time = end
 	st.res.Profile = st.prof
+	if prog.Mutating() {
+		st.res.KBGen = m.kb.Generation()
+	} else {
+		st.res.KBGen = m.kbGen
+	}
 	if err := m.poisonIfCorrupted(corruptBefore); err != nil {
 		return nil, err
 	}

@@ -59,6 +59,14 @@ const (
 	// program its compile-tier optimizer rewrote; status carries the
 	// instruction count the rewrite deleted.
 	EvProgramOptimized
+
+	// Online write-path events. EvKBDeltaApplied is emitted by a
+	// serving replica that patched its cluster tables forward by delta
+	// replay; status carries the record count. EvWriteCommitted is
+	// emitted by the writer once per epoch publish; status carries the
+	// group-commit size.
+	EvKBDeltaApplied
+	EvWriteCommitted
 )
 
 func (e EventCode) String() string {
@@ -111,6 +119,10 @@ func (e EventCode) String() string {
 		return "hop-traffic"
 	case EvProgramOptimized:
 		return "program-optimized"
+	case EvKBDeltaApplied:
+		return "kb-delta-applied"
+	case EvWriteCommitted:
+		return "write-committed"
 	default:
 		return "none"
 	}

@@ -51,7 +51,12 @@ func (v *CSRView) Degree(id NodeID) int { return v.OutDegree(id) + v.InDegree(id
 func (kb *KB) CSR() *CSRView {
 	kb.csrMu.Lock()
 	defer kb.csrMu.Unlock()
-	if kb.csr != nil && kb.csrGen == kb.gen {
+	// Lock order is csrMu then kb.mu; KB mutators never build the view,
+	// so the reverse order cannot occur.
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	gen := kb.gen.Load()
+	if kb.csr != nil && kb.csrGen == gen {
 		return kb.csr
 	}
 	n := len(kb.nodes)
@@ -84,7 +89,7 @@ func (kb *KB) CSR() *CSRView {
 			fill[l.To]++
 		}
 	}
-	kb.csr, kb.csrGen = v, kb.gen
+	kb.csr, kb.csrGen = v, gen
 	return v
 }
 

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Node is the logical (host-side) view of a semantic network concept:
@@ -23,7 +25,14 @@ func (n *Node) IsSubnode() bool { return n.parent != InvalidNode }
 // KB is the logical knowledge base constructed on the host and downloaded
 // into the array. It owns the name tables for nodes, relations and colors;
 // the array stores only the binary-encoded tables.
+//
+// The KB is safe for concurrent use: a single writer may mutate it while
+// readers resolve names or compile programs against it (mu). The online
+// write path depends on this — the engine's dedicated writer machine
+// mutates the master KB while replica compiles and collection name
+// resolution keep reading it.
 type KB struct {
+	mu     sync.RWMutex
 	nodes  []Node
 	byName map[string]NodeID
 
@@ -37,10 +46,14 @@ type KB struct {
 	numLinks int
 
 	// gen counts structural revisions: every mutation that could change a
-	// query's result (node, link, function, or preprocessor change) bumps
-	// it. Result caches key on it so entries from an older topology can
-	// never satisfy a query against a newer one.
-	gen uint64
+	// query's result (node, link, color, function, or preprocessor change)
+	// bumps it. Result caches key on it so entries from an older topology
+	// can never satisfy a query against a newer one.
+	gen atomic.Uint64
+
+	// delta is the bounded mutation log for incremental replica sync
+	// (delta.go; disabled until EnableDeltaLog).
+	delta deltaLog
 
 	// csrCache holds the generation-keyed flat adjacency snapshot (csr.go).
 	csrCache
@@ -49,7 +62,7 @@ type KB struct {
 // Generation reports the knowledge base's structural revision counter.
 // Two calls returning the same value bracket a span with no topology
 // mutations, so any query result computed inside the span is still valid.
-func (kb *KB) Generation() uint64 { return kb.gen }
+func (kb *KB) Generation() uint64 { return kb.gen.Load() }
 
 // NewKB returns an empty knowledge base.
 func NewKB() *KB {
@@ -70,14 +83,19 @@ var (
 )
 
 // AddNode creates a node with the given name and color and returns its ID.
+// Node creation reshapes the partition assignment, so it is logged as a
+// rebuild record: loaded machines must re-download rather than patch.
 func (kb *KB) AddNode(name string, color Color) (NodeID, error) {
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
 	if _, ok := kb.byName[name]; ok {
 		return InvalidNode, fmt.Errorf("%w: %q", ErrDuplicateNode, name)
 	}
 	id := NodeID(len(kb.nodes))
 	kb.nodes = append(kb.nodes, Node{Name: name, Color: color, parent: InvalidNode})
 	kb.byName[name] = id
-	kb.gen++
+	kb.gen.Add(1)
+	kb.record(DeltaRec{Op: DeltaRebuild, Node: id})
 	return id, nil
 }
 
@@ -92,11 +110,32 @@ func (kb *KB) MustAddNode(name string, color Color) NodeID {
 
 // SetFn sets the node-table propagation function of node id.
 func (kb *KB) SetFn(id NodeID, fn FuncCode) error {
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
 	if int(id) >= len(kb.nodes) {
 		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
 	}
 	kb.nodes[id].Fn = fn
-	kb.gen++
+	kb.gen.Add(1)
+	kb.record(DeltaRec{Op: DeltaSetFn, Node: id, Fn: fn})
+	return nil
+}
+
+// SetColor rewrites the node-table color of node id. This is the KB-side
+// mirror of the SET-COLOR instruction; the machine routes runtime color
+// writes through it so the master KB and the loaded array stay equal.
+func (kb *KB) SetColor(id NodeID, c Color) error {
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
+	if int(id) >= len(kb.nodes) {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	if kb.nodes[id].Color == c {
+		return nil
+	}
+	kb.nodes[id].Color = c
+	kb.gen.Add(1)
+	kb.record(DeltaRec{Op: DeltaSetColor, Node: id, Color: c})
 	return nil
 }
 
@@ -104,12 +143,15 @@ func (kb *KB) SetFn(id NodeID, fn FuncCode) error {
 // weight. Fanout beyond RelationSlots is legal here; the Preprocess pass
 // splits such nodes before download, as the paper's preprocessor does.
 func (kb *KB) AddLink(from NodeID, rel RelType, weight float32, to NodeID) error {
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
 	if int(from) >= len(kb.nodes) || int(to) >= len(kb.nodes) {
 		return fmt.Errorf("%w: link %d->%d", ErrUnknownNode, from, to)
 	}
 	kb.nodes[from].Out = append(kb.nodes[from].Out, Link{Rel: rel, Weight: weight, To: to})
 	kb.numLinks++
-	kb.gen++
+	kb.gen.Add(1)
+	kb.record(DeltaRec{Op: DeltaAddLink, Node: from, Link: Link{Rel: rel, Weight: weight, To: to}})
 	return nil
 }
 
@@ -120,15 +162,43 @@ func (kb *KB) MustAddLink(from NodeID, rel RelType, weight float32, to NodeID) {
 	}
 }
 
+// RemoveLink deletes from's first outgoing link matching (rel, to),
+// preserving the order of the remaining links (mirroring the relation
+// arena's first-match DELETE semantics), and reports whether a link was
+// removed.
+func (kb *KB) RemoveLink(from NodeID, rel RelType, to NodeID) bool {
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
+	if int(from) >= len(kb.nodes) {
+		return false
+	}
+	out := kb.nodes[from].Out
+	for i, l := range out {
+		if l.Rel == rel && l.To == to {
+			kb.nodes[from].Out = append(out[:i], out[i+1:]...)
+			kb.numLinks--
+			kb.gen.Add(1)
+			kb.record(DeltaRec{Op: DeltaRemoveLink, Node: from, Link: Link{Rel: rel, To: to}})
+			return true
+		}
+	}
+	return false
+}
+
 // Lookup resolves a node name to its ID.
 func (kb *KB) Lookup(name string) (NodeID, bool) {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
 	id, ok := kb.byName[name]
 	return id, ok
 }
 
 // Node returns the node record for id. The returned pointer stays valid
-// until the next AddNode or Preprocess call.
+// until the next AddNode or Preprocess call; under concurrent writes the
+// caller must hold the topology quiescent (the engine's write lock does).
 func (kb *KB) Node(id NodeID) (*Node, error) {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
 	if int(id) >= len(kb.nodes) {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, id)
 	}
@@ -138,6 +208,12 @@ func (kb *KB) Node(id NodeID) (*Node, error) {
 // Name returns the node's name, or a synthesized placeholder for IDs out
 // of range (collection results are never fatal).
 func (kb *KB) Name(id NodeID) string {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	return kb.nameLocked(id)
+}
+
+func (kb *KB) nameLocked(id NodeID) string {
 	if int(id) < len(kb.nodes) {
 		return kb.nodes[id].Name
 	}
@@ -147,6 +223,12 @@ func (kb *KB) Name(id NodeID) string {
 // Canonical maps a preprocessor subnode back to the concept it continues;
 // non-subnode IDs map to themselves.
 func (kb *KB) Canonical(id NodeID) NodeID {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	return kb.canonicalLocked(id)
+}
+
+func (kb *KB) canonicalLocked(id NodeID) NodeID {
 	for int(id) < len(kb.nodes) && kb.nodes[id].parent != InvalidNode {
 		id = kb.nodes[id].parent
 	}
@@ -154,10 +236,16 @@ func (kb *KB) Canonical(id NodeID) NodeID {
 }
 
 // NumNodes reports the node count including preprocessor subnodes.
-func (kb *KB) NumNodes() int { return len(kb.nodes) }
+func (kb *KB) NumNodes() int {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	return len(kb.nodes)
+}
 
 // NumConcepts reports the node count excluding preprocessor subnodes.
 func (kb *KB) NumConcepts() int {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
 	n := 0
 	for i := range kb.nodes {
 		if kb.nodes[i].parent == InvalidNode {
@@ -168,10 +256,16 @@ func (kb *KB) NumConcepts() int {
 }
 
 // NumLinks reports the total number of relation-table entries.
-func (kb *KB) NumLinks() int { return kb.numLinks }
+func (kb *KB) NumLinks() int {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	return kb.numLinks
+}
 
 // Relation interns a relation-type name, assigning the next free type.
 func (kb *KB) Relation(name string) RelType {
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
 	if r, ok := kb.relByName[name]; ok {
 		return r
 	}
@@ -187,6 +281,8 @@ func (kb *KB) Relation(name string) RelType {
 
 // RelationName returns the interned name for r, or a numeric placeholder.
 func (kb *KB) RelationName(r RelType) string {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
 	if n, ok := kb.relNames[r]; ok {
 		return n
 	}
@@ -198,6 +294,8 @@ func (kb *KB) RelationName(r RelType) string {
 
 // ColorFor interns a color name, assigning the next free color.
 func (kb *KB) ColorFor(name string) Color {
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
 	if c, ok := kb.colorByNm[name]; ok {
 		return c
 	}
@@ -213,6 +311,8 @@ func (kb *KB) ColorFor(name string) Color {
 
 // ColorName returns the interned name for c, or a numeric placeholder.
 func (kb *KB) ColorName(c Color) string {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
 	if n, ok := kb.colorNames[c]; ok {
 		return n
 	}
@@ -225,13 +325,15 @@ func (kb *KB) ColorName(c Color) string {
 // Names resolves a set of node IDs to sorted canonical concept names,
 // deduplicating preprocessor subnodes.
 func (kb *KB) Names(ids []NodeID) []string {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
 	seen := make(map[NodeID]bool, len(ids))
 	var out []string
 	for _, id := range ids {
-		c := kb.Canonical(id)
+		c := kb.canonicalLocked(id)
 		if !seen[c] {
 			seen[c] = true
-			out = append(out, kb.Name(c))
+			out = append(out, kb.nameLocked(c))
 		}
 	}
 	sort.Strings(out)
@@ -249,6 +351,8 @@ func (kb *KB) Names(ids []NodeID) []string {
 // carries ColorSubnode and inherits the parent's propagation function.
 // Preprocess is idempotent.
 func (kb *KB) Preprocess() {
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
 	before := len(kb.nodes)
 	for id := 0; id < len(kb.nodes); id++ {
 		// Appended subnodes extend the loop range and are re-checked;
@@ -259,7 +363,7 @@ func (kb *KB) Preprocess() {
 			continue
 		}
 		links := n.Out
-		canonical := kb.Name(kb.Canonical(NodeID(id)))
+		canonical := kb.nameLocked(kb.canonicalLocked(NodeID(id)))
 		fn := n.Fn
 		var conts []Link
 		for start := 0; start < len(links); start += RelationSlots {
@@ -287,7 +391,8 @@ func (kb *KB) Preprocess() {
 		}
 	}
 	if len(kb.nodes) != before {
-		kb.gen++
+		kb.gen.Add(1)
+		kb.record(DeltaRec{Op: DeltaRebuild})
 	}
 }
 
@@ -295,6 +400,8 @@ func (kb *KB) Preprocess() {
 // markers are in range, and no post-Preprocess node exceeds the slot
 // budget. It returns the first violation found.
 func (kb *KB) Validate() error {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
 	for id := range kb.nodes {
 		n := &kb.nodes[id]
 		if len(n.Out) > RelationSlots {

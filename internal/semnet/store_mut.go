@@ -17,6 +17,18 @@ func (s *Store) SetColor(local int, c Color) error {
 	return nil
 }
 
+// SetFn rewrites the node-table propagation function of a local node
+// (delta-sync replay of a host-side KB.SetFn; there is no ISA
+// instruction for it).
+func (s *Store) SetFn(local int, fn FuncCode) error {
+	if local < 0 || local >= s.n {
+		return fmt.Errorf("%w: local %d", ErrUnknownNode, local)
+	}
+	s.own()
+	s.fn[local] = fn
+	return nil
+}
+
 // AddLink appends one relation-table entry at runtime. Unlike the host
 // preprocessor, the array cannot split subnodes on the fly, so exceeding
 // the slot budget is an error — the same limit the hardware has. In the

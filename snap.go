@@ -194,6 +194,11 @@ var (
 	// WithOptLevel sets the engine's compile-tier optimizer level
 	// (OptBasic or OptFull, the default); n <= 0 runs queries as written.
 	WithOptLevel = engine.WithOptLevel
+	// WithWrites enables the online write path: Engine.SubmitWrite
+	// commits topology-mutating programs on a serialized writer and
+	// publishes epoch-versioned KB snapshots; serving replicas catch up
+	// by incremental delta replay at their next batch boundary.
+	WithWrites = engine.WithWrites
 	// WithQueueCap sets the engine's submit-queue capacity.
 	WithQueueCap = engine.WithQueueCap
 	// WithCacheCap bounds the engine's compile cache.
